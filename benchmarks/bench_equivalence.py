@@ -1,0 +1,69 @@
+"""Experiment E5 — deciding view equivalence (Theorem 2.4.12).
+
+Series reported: decision time for equivalent pairs (a base view vs a padded
+and renamed copy) and for non-equivalent pairs (one member weakened), swept
+over the number of defining queries.  Positive instances must do the work of
+both dominance directions; negative instances typically exit after the first
+missing construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.views import views_equivalent
+from repro.workloads import (
+    SchemaSpec,
+    equivalent_view_pair,
+    perturbed_view,
+    random_schema,
+    random_view,
+)
+
+SCHEMA = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=17)
+MEMBER_COUNTS = [1, 2]
+
+
+@pytest.mark.parametrize("members", MEMBER_COUNTS)
+def test_equivalent_pair(benchmark, members):
+    first, second = equivalent_view_pair(SCHEMA, members=members, atoms_per_query=2, seed=members)
+
+    def run():
+        return views_equivalent(first, second)
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("members", MEMBER_COUNTS)
+def test_non_equivalent_pair(benchmark, members):
+    base = random_view(SCHEMA, members=members, atoms_per_query=2, seed=members + 40)
+    weakened = perturbed_view(base, seed=members + 41)
+    expected = False if weakened != base else True
+
+    def run():
+        return views_equivalent(base, weakened)
+
+    assert benchmark(run) is expected
+
+
+def test_example_3_1_5_equivalence(benchmark, split_view, q_schema):
+    """The paper's own example pair, as a fixed reference point."""
+
+    from repro.relalg import parse_expression
+    from repro.relational import RelationName
+    from repro.views import View
+
+    joined = View(
+        [
+            (
+                parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema),
+                RelationName("lam", "ABC"),
+            )
+        ],
+        q_schema,
+    )
+
+    def run():
+        return views_equivalent(split_view, joined)
+
+    assert benchmark(run) is True

@@ -1,0 +1,48 @@
+"""Experiment E6 — redundancy elimination (Theorem 3.1.4, Example 3.1.5).
+
+Series reported: time to detect and remove redundancy from views padded with
+0-4 derivable defining queries, plus how many members survive.  The view
+sizes in the test ids give the series of the experiment; the shrinking
+``nonredundant size`` is printed by EXPERIMENTS.md's companion table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.views import is_nonredundant_view, remove_redundancy, views_equivalent
+from repro.workloads import SchemaSpec, random_schema, random_view, redundant_view
+
+SCHEMA = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=5)
+PADDING = [0, 1, 2]
+
+
+@pytest.mark.parametrize("extra", PADDING)
+def test_remove_redundancy(benchmark, extra):
+    base = random_view(SCHEMA, members=2, atoms_per_query=2, seed=31)
+    padded = redundant_view(base, extra_members=extra, seed=32) if extra else base
+
+    def run():
+        return remove_redundancy(padded)
+
+    slim = benchmark(run)
+    assert is_nonredundant_view(slim)
+    assert views_equivalent(slim, padded)
+    assert len(slim) <= len(padded)
+
+
+@pytest.mark.parametrize("extra", PADDING)
+def test_detect_nonredundancy(benchmark, extra):
+    """Cost of the yes/no redundancy check alone."""
+
+    base = random_view(SCHEMA, members=2, atoms_per_query=2, seed=33)
+    padded = redundant_view(base, extra_members=extra, seed=34) if extra else base
+
+    def run():
+        return is_nonredundant_view(padded)
+
+    result = benchmark(run)
+    if extra == 0:
+        assert result in (True, False)
+    else:
+        assert result is False

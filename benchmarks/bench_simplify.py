@@ -1,0 +1,67 @@
+"""Experiment E8 — the simplified normal form (Theorems 4.1.3, 4.2.2, 4.2.3).
+
+Series reported: time to compute the simplified view for defining queries of
+growing width (target-scheme size drives the number of proper projections
+considered), plus a fixed-point check (simplifying a simplified view is
+cheap and returns the same normal form).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relalg import parse_expression
+from repro.relational import DatabaseSchema, RelationName
+from repro.views import (
+    View,
+    is_simplified_view,
+    simplified_views_match,
+    simplify_view,
+    views_equivalent,
+)
+from repro.workloads import section_4_1_example
+
+WIDE_SCHEMA = DatabaseSchema(
+    [RelationName("R", "AB"), RelationName("S", "BC"), RelationName("T", "CD")]
+)
+
+CASES = {
+    "width2": "pi{A,B}(R)",
+    "width3": "pi{A,B,C}(R & S)",
+    "width4": "R & S & T",
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_simplify_single_member_view(benchmark, case):
+    query = parse_expression(CASES[case], WIDE_SCHEMA)
+    view = View([(query, RelationName("V", query.target_scheme))], WIDE_SCHEMA)
+
+    def run():
+        return simplify_view(view)
+
+    simplified = benchmark(run)
+    assert is_simplified_view(simplified)
+    assert views_equivalent(simplified, view)
+
+
+def test_simplify_section_4_1_view(benchmark):
+    """The ABCD decomposition example that opens Section 4.1."""
+
+    example = section_4_1_example()
+
+    def run():
+        return simplify_view(example.view)
+
+    simplified = benchmark(run)
+    assert views_equivalent(simplified, example.view)
+
+
+def test_simplify_is_a_fixed_point(benchmark, split_view):
+    """Re-simplifying the normal form returns the same view (Theorem 4.2.2)."""
+
+    def run():
+        return simplify_view(split_view)
+
+    again = benchmark(run)
+    assert simplified_views_match(again, split_view)

@@ -1,0 +1,63 @@
+"""Experiment E7 — the size bound for nonredundant equivalents (Lemma 3.1.6, Theorem 3.1.7).
+
+Series reported: for views of growing defining-query size, the measured size
+of the computed nonredundant equivalent, the size of the simplified view (the
+largest nonredundant equivalent by Theorem 4.2.3) and the Lemma 3.1.6 bound.
+The benchmark asserts ``nonredundant <= simplified <= bound`` on every
+instance, which is the shape the theorems predict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.views import (
+    is_nonredundant_view,
+    nonredundant_size_bound,
+    remove_redundancy,
+    simplify_view,
+)
+from repro.workloads import SchemaSpec, random_schema, random_view
+
+SCHEMA = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=9)
+ATOMS_PER_QUERY = [1, 2]
+
+
+@pytest.mark.parametrize("atoms", ATOMS_PER_QUERY)
+def test_bound_versus_measured_sizes(benchmark, atoms):
+    view = random_view(SCHEMA, members=2, atoms_per_query=atoms, seed=atoms + 70)
+
+    def run():
+        slim = remove_redundancy(view)
+        simplified = simplify_view(view)
+        return len(slim), len(simplified), nonredundant_size_bound(view)
+
+    slim_size, simplified_size, bound = benchmark(run)
+    assert slim_size <= bound
+    assert simplified_size <= bound
+    assert slim_size <= simplified_size
+
+
+def test_bound_on_paper_example(benchmark, split_view, q_schema):
+    """Example 3.1.5: bound 2, equivalent nonredundant views of sizes 1 and 2."""
+
+    from repro.relalg import parse_expression
+    from repro.relational import RelationName
+    from repro.views import View
+
+    joined = View(
+        [
+            (
+                parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema),
+                RelationName("lam", "ABC"),
+            )
+        ],
+        q_schema,
+    )
+
+    def run():
+        return nonredundant_size_bound(joined), len(remove_redundancy(joined)), len(split_view)
+
+    bound, joined_size, split_size = benchmark(run)
+    assert bound >= split_size >= joined_size
+    assert is_nonredundant_view(split_view)

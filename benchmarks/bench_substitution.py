@@ -1,0 +1,44 @@
+"""Experiment E2 — template substitution composes mappings (Theorem 2.2.3).
+
+Series reported: time to compute ``T -> beta`` and to verify
+``[T -> beta](alpha) = T(beta -> alpha)`` on instances of growing size, for
+the paper's Figure 1 substitution and for larger synthetic assignments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.generators import random_instantiation
+from repro.templates import apply_assignment, evaluate_template, substitute
+from repro.workloads import example_2_2_2
+
+
+@pytest.fixture(scope="module")
+def figure_1():
+    return example_2_2_2()
+
+
+def test_substitution_construction(benchmark, figure_1):
+    """Cost of building the Figure 1 substitution ``T -> beta``."""
+
+    result = benchmark(lambda: substitute(figure_1.outer, figure_1.assignment))
+    assert len(result.template) == 6
+
+
+@pytest.mark.parametrize("tuples", [10, 40, 160])
+def test_theorem_2_2_3_verification(benchmark, figure_1, tuples):
+    """Cost of checking the composition identity on instances of growing size."""
+
+    substituted = substitute(figure_1.outer, figure_1.assignment).template
+    alpha = random_instantiation(
+        figure_1.schema, tuples_per_relation=tuples, seed=3, domain_size=12
+    )
+
+    def run():
+        left = evaluate_template(substituted, alpha)
+        right = evaluate_template(figure_1.outer, apply_assignment(figure_1.assignment, alpha))
+        assert left == right
+        return len(left)
+
+    benchmark(run)

@@ -1,0 +1,84 @@
+"""Experiment E3 — the tableau toolkit (Algorithm 2.1.1, Propositions 2.4.1-2.4.4).
+
+Series reported: cost of expression-to-template conversion, homomorphism /
+equivalence checks and reduction, swept over the number of atoms in the
+source expression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.templates import (
+    has_homomorphism,
+    is_expression_template,
+    reduce_template,
+    template_from_expression,
+    templates_equivalent,
+)
+from repro.workloads import SchemaSpec, random_expression, random_schema
+
+SCHEMA = random_schema(SchemaSpec(relations=4, arity=2, universe_size=5), seed=0)
+ATOM_COUNTS = [2, 4, 8]
+
+
+@pytest.mark.parametrize("atoms", ATOM_COUNTS)
+def test_expression_to_template(benchmark, atoms):
+    """Algorithm 2.1.1 conversion cost vs expression size."""
+
+    expression = random_expression(SCHEMA, atoms=atoms, projection_probability=0.5, seed=atoms)
+    template = benchmark(lambda: template_from_expression(expression))
+    assert len(template) <= atoms
+
+
+@pytest.mark.parametrize("atoms", ATOM_COUNTS)
+def test_template_equivalence_check(benchmark, atoms):
+    """Two-way homomorphism check between two equivalent realisations."""
+
+    expression = random_expression(SCHEMA, atoms=atoms, projection_probability=0.5, seed=atoms)
+    first = template_from_expression(expression)
+    second = template_from_expression(expression)
+
+    def run():
+        assert templates_equivalent(first, second)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("atoms", ATOM_COUNTS)
+def test_template_reduction(benchmark, atoms):
+    """Reduction (core computation) cost vs template size."""
+
+    expression = random_expression(SCHEMA, atoms=atoms, projection_probability=0.3, seed=atoms + 100)
+    template = template_from_expression(expression)
+    reduced = benchmark(lambda: reduce_template(template))
+    assert templates_equivalent(reduced, template)
+
+
+@pytest.mark.parametrize("atoms", [2, 4, 8])
+def test_expression_template_recognition(benchmark, atoms):
+    """Cost of the Proposition 2.4.6 stand-in recogniser (reduce + parse + verify)."""
+
+    expression = random_expression(SCHEMA, atoms=atoms, projection_probability=0.5, seed=atoms + 7)
+    template = template_from_expression(expression)
+
+    def run():
+        assert is_expression_template(template)
+
+    benchmark(run)
+
+
+def test_homomorphism_negative_case(benchmark):
+    """Cost of refuting a homomorphism (the expensive direction of containment)."""
+
+    strong = template_from_expression(
+        random_expression(SCHEMA, atoms=6, projection_probability=0.2, seed=55)
+    )
+    weak = template_from_expression(
+        random_expression(SCHEMA, atoms=2, projection_probability=0.8, seed=56)
+    )
+
+    def run():
+        return has_homomorphism(weak, strong), has_homomorphism(strong, weak)
+
+    benchmark(run)

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment of EXPERIMENTS.md.  The
+pytest-benchmark table is the reported series: parameter values appear in the
+test ids, so a single ``pytest benchmarks/ --benchmark-only`` run prints every
+row of every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.relational import DatabaseSchema, RelationName  # noqa: E402
+from repro.relalg import parse_expression  # noqa: E402
+from repro.views import View  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def q_schema() -> DatabaseSchema:
+    """The single ternary relation q(A,B,C) used by the paper's running example."""
+
+    return DatabaseSchema([RelationName("q", "ABC")])
+
+
+@pytest.fixture(scope="session")
+def rs_schema() -> DatabaseSchema:
+    """The two-relation schema R(A,B), S(B,C)."""
+
+    return DatabaseSchema([RelationName("R", "AB"), RelationName("S", "BC")])
+
+
+@pytest.fixture(scope="session")
+def split_view(q_schema) -> View:
+    """The simplified view W of Example 3.1.5."""
+
+    return View(
+        [
+            (parse_expression("pi{A,B}(q)", q_schema), RelationName("W1", "AB")),
+            (parse_expression("pi{B,C}(q)", q_schema), RelationName("W2", "BC")),
+        ],
+        q_schema,
+    )

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout package is importable even when the project has
+not been installed (useful in offline environments where ``pip install -e .``
+cannot build an editable wheel: ``python setup.py develop`` or this path
+fallback both work).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Catalogue workflow: analyse every view declared in a textual catalogue.
+
+Teams that manage many views keep them in files; this example parses a small
+catalogue (the same format ``repro.catalog`` serialises), runs the full
+analysis on every declared view and prints a normalised catalogue in which
+every view has been replaced by its simplified normal form.
+
+Run with::
+
+    python examples/catalog_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Catalog, parse_catalog, serialize_catalog
+from repro.core import ViewAnalyzer
+from repro.views import simplify_view, views_equivalent
+
+CATALOGUE = """
+# Order-management database and the views granted to two internal tools.
+schema {
+  Orders(O, C)        # order, customer
+  Items(O, P)         # order, product
+  Stock(P, W)         # product, warehouse
+}
+
+view Fulfilment {
+  OrderProducts(O, P)    := Items
+  ProductWarehouses(P, W) := Stock
+  PickList(O, P, W)       := Items & Stock
+}
+
+view Analytics {
+  CustomerProducts(C, P) := pi{C,P}(Orders & Items)
+  OrderCustomers(C, O)   := Orders
+}
+"""
+
+
+def main() -> None:
+    catalog = parse_catalog(CATALOGUE)
+    print("Parsed schema:", catalog.schema)
+
+    normalised = {}
+    for name, view in sorted(catalog.views.items()):
+        print(f"\n=== view {name} ===")
+        report = ViewAnalyzer(view).analyze()
+        for line in report.summary_lines():
+            print(" ", line)
+
+        simplified = simplify_view(view)
+        assert views_equivalent(simplified, view)
+        normalised[name] = simplified
+        if report.is_simplified and report.is_nonredundant:
+            print("  already in normal form")
+        else:
+            print(f"  normal form has {len(simplified)} relation(s) "
+                  f"(was {len(view)})")
+
+    print("\n----- normalised catalogue -----")
+    print(serialize_catalog(Catalog(schema=catalog.schema, views=normalised)))
+
+
+if __name__ == "__main__":
+    main()

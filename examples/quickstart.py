@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: define a view, test query capacity, equivalence and normal form.
+
+This walks through the paper's central notions on the running example of
+Section 3.1.5: a single ternary relation ``q(A, B, C)`` and two views that
+turn out to be equivalent even though they look different.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DatabaseSchema,
+    RelationName,
+    View,
+    ViewAnalyzer,
+    format_expression,
+    parse_expression,
+    views_equivalent,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ schema
+    q = RelationName("q", "ABC")
+    schema = DatabaseSchema([q])
+    print("underlying schema :", schema)
+
+    # ------------------------------------------------------------------- views
+    # View V exposes one relation: the join of two projections of q.
+    joined = parse_expression("pi{A,B}(q) & pi{B,C}(q)", schema)
+    view_v = View([(joined, RelationName("lam", "ABC"))], schema)
+
+    # View W exposes the two projections separately.
+    s1 = parse_expression("pi{A,B}(q)", schema)
+    s2 = parse_expression("pi{B,C}(q)", schema)
+    view_w = View(
+        [(s1, RelationName("lam1", "AB")), (s2, RelationName("lam2", "BC"))], schema
+    )
+
+    print("view V            :", view_v)
+    print("view W            :", view_w)
+
+    # --------------------------------------------------------- query capacity
+    analyzer = ViewAnalyzer(view_w)
+    probes = ["pi{A}(q)", "pi{A,B}(q) & pi{B,C}(q)", "q", "pi{A,C}(q)"]
+    print("\nCan a user of W answer these database queries?  (Theorem 2.4.11)")
+    for text in probes:
+        probe = parse_expression(text, schema)
+        answerable = analyzer.can_answer(probe)
+        print(f"  {text:<28} -> {answerable}")
+        if answerable:
+            construction = analyzer.explain(probe)
+            print(f"      rewriting over the view: {format_expression(construction.rewriting)}")
+
+    # ------------------------------------------------------------- equivalence
+    print("\nAre V and W equivalent?  (Theorem 2.4.12)")
+    print("  views_equivalent(V, W) =", views_equivalent(view_v, view_w))
+
+    # -------------------------------------------------------------- normal form
+    print("\nSimplified normal form of V (Section 4):")
+    simplified = ViewAnalyzer(view_v).simplified()
+    for definition in simplified.definitions:
+        print(f"  {definition.name.name}({definition.name.type}) := "
+              f"{format_expression(definition.query)}")
+
+    # ------------------------------------------------------------------ report
+    print("\nFull analysis report for W:")
+    for line in ViewAnalyzer(view_w).analyze().summary_lines():
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

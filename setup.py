@@ -1,0 +1,5 @@
+"""Setup shim for environments that need a legacy (non-PEP 660) editable install."""
+
+from setuptools import setup
+
+setup()

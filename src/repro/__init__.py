@@ -1,0 +1,107 @@
+"""repro — a reproduction of "Equivalence of Views by Query Capacity".
+
+The library implements, in pure Python, the complete machinery of
+Tim Connors' JCSS 1986 paper (PODS 1985): the multirelational project-join
+model, tagged-tableau templates and template substitution, query capacity of
+views, the decidability of capacity membership and view equivalence,
+redundancy elimination and the simplified normal form for views.
+
+Typical entry points:
+
+* :class:`repro.View` / :class:`repro.ViewAnalyzer` — define a view and ask
+  the questions the paper answers (can this query be answered through the
+  view?  are these two views equivalent?  what is the normal form?).
+* :mod:`repro.relalg` — build or parse project-join queries.
+* :mod:`repro.templates` — the tableau toolkit (Algorithm 2.1.1,
+  homomorphisms, reduction, substitution).
+* :mod:`repro.workloads` — the paper's worked examples and synthetic
+  workload generators used by the benchmark harness.
+"""
+
+from repro.core import ViewAnalyzer, ViewAnalysisReport
+from repro.relational import (
+    Attribute,
+    DatabaseSchema,
+    Instantiation,
+    Relation,
+    RelationName,
+    RelationScheme,
+    Tuple,
+    attributes,
+)
+from repro.relalg import (
+    Expression,
+    Join,
+    Projection,
+    RelationRef,
+    evaluate,
+    expressions_equivalent,
+    format_expression,
+    parse_expression,
+)
+from repro.templates import (
+    Template,
+    TaggedTuple,
+    TemplateAssignment,
+    evaluate_template,
+    reduce_template,
+    substitute,
+    template_from_expression,
+    templates_equivalent,
+)
+from repro.views import (
+    QueryCapacity,
+    SearchLimits,
+    View,
+    ViewDefinition,
+    closure_contains,
+    dominates,
+    find_construction,
+    remove_redundancy,
+    simplify_view,
+    surrogate_query,
+    views_equivalent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ViewAnalyzer",
+    "ViewAnalysisReport",
+    "Attribute",
+    "DatabaseSchema",
+    "Instantiation",
+    "Relation",
+    "RelationName",
+    "RelationScheme",
+    "Tuple",
+    "attributes",
+    "Expression",
+    "Join",
+    "Projection",
+    "RelationRef",
+    "evaluate",
+    "expressions_equivalent",
+    "format_expression",
+    "parse_expression",
+    "Template",
+    "TaggedTuple",
+    "TemplateAssignment",
+    "evaluate_template",
+    "reduce_template",
+    "substitute",
+    "template_from_expression",
+    "templates_equivalent",
+    "QueryCapacity",
+    "SearchLimits",
+    "View",
+    "ViewDefinition",
+    "closure_contains",
+    "dominates",
+    "find_construction",
+    "remove_redundancy",
+    "simplify_view",
+    "surrogate_query",
+    "views_equivalent",
+]

@@ -1,0 +1,9 @@
+"""Paper-faithful baseline decision procedures kept for cross-checking and benchmarks."""
+
+from repro.baselines.naive_capacity import (
+    NaiveSearchLimits,
+    enumerate_candidate_templates,
+    naive_closure_contains,
+)
+
+__all__ = ["NaiveSearchLimits", "enumerate_candidate_templates", "naive_closure_contains"]

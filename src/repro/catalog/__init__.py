@@ -1,0 +1,5 @@
+"""Textual catalogue format for schemas and views (used by the examples)."""
+
+from repro.catalog.dsl import Catalog, parse_catalog, serialize_catalog
+
+__all__ = ["Catalog", "parse_catalog", "serialize_catalog"]

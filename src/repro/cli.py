@@ -1,0 +1,139 @@
+"""Command-line interface for analysing view catalogues.
+
+The CLI operates on the textual catalogue format of :mod:`repro.catalog` and
+exposes the paper's decision procedures to shell users::
+
+    python -m repro.cli analyze  catalogue.txt                 # report per view
+    python -m repro.cli member   catalogue.txt ViewName "pi{A}(R & S)"
+    python -m repro.cli equivalent catalogue.txt ViewA ViewB
+    python -m repro.cli simplify catalogue.txt                 # emit normal forms
+
+Every subcommand prints human-readable text to stdout and exits with status 0
+on success, 1 when a decision is negative (member / equivalent answer "no"),
+and 2 on usage or input errors — so the commands compose in shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.catalog import Catalog, parse_catalog, serialize_catalog
+from repro.core import ViewAnalyzer
+from repro.exceptions import ReproError
+from repro.relalg import format_expression, parse_expression
+from repro.views import simplify_view, views_equivalent
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command-line interface."""
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analyse relational views by query capacity (Connors 1986).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="report redundancy / normal form per view")
+    analyze.add_argument("catalogue", help="path to a catalogue file")
+    analyze.add_argument("--view", help="only analyse the named view", default=None)
+
+    member = subparsers.add_parser(
+        "member", help="decide whether a database query is in a view's capacity"
+    )
+    member.add_argument("catalogue", help="path to a catalogue file")
+    member.add_argument("view", help="name of the view to interrogate")
+    member.add_argument("query", help="database query in the expression DSL")
+
+    equivalent = subparsers.add_parser(
+        "equivalent", help="decide whether two views of the catalogue are equivalent"
+    )
+    equivalent.add_argument("catalogue", help="path to a catalogue file")
+    equivalent.add_argument("first", help="name of the first view")
+    equivalent.add_argument("second", help="name of the second view")
+
+    simplify = subparsers.add_parser(
+        "simplify", help="emit the catalogue with every view replaced by its normal form"
+    )
+    simplify.add_argument("catalogue", help="path to a catalogue file")
+
+    return parser
+
+
+def _load(path: str) -> Catalog:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_catalog(handle.read())
+
+
+def _cmd_analyze(catalog: Catalog, view_name: Optional[str], out) -> int:
+    names = [view_name] if view_name else sorted(catalog.views)
+    for name in names:
+        view = catalog.view(name)
+        report = ViewAnalyzer(view).analyze()
+        print(f"view {name}", file=out)
+        for line in report.summary_lines():
+            print(f"  {line}", file=out)
+    return 0
+
+
+def _cmd_member(catalog: Catalog, view_name: str, query_text: str, out) -> int:
+    view = catalog.view(view_name)
+    query = parse_expression(query_text, catalog.schema)
+    analyzer = ViewAnalyzer(view)
+    construction = analyzer.explain(query)
+    if construction is None:
+        print(f"NO: {query_text} is outside Cap({view_name})", file=out)
+        return 1
+    print(f"YES: {query_text} is answerable through {view_name}", file=out)
+    if construction.rewriting is not None:
+        print(f"  rewriting: {format_expression(construction.rewriting)}", file=out)
+    return 0
+
+
+def _cmd_equivalent(catalog: Catalog, first_name: str, second_name: str, out) -> int:
+    first = catalog.view(first_name)
+    second = catalog.view(second_name)
+    if views_equivalent(first, second):
+        print(f"EQUIVALENT: {first_name} and {second_name} have the same query capacity", file=out)
+        return 0
+    print(f"NOT EQUIVALENT: {first_name} and {second_name} differ in query capacity", file=out)
+    return 1
+
+
+def _cmd_simplify(catalog: Catalog, out) -> int:
+    simplified = {name: simplify_view(view) for name, view in catalog.views.items()}
+    print(serialize_catalog(Catalog(schema=catalog.schema, views=simplified)), file=out, end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit status instead of calling ``sys.exit``."""
+
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse errors exit with 2 already
+        return int(exc.code or 0)
+
+    try:
+        catalog = _load(args.catalogue)
+        if args.command == "analyze":
+            return _cmd_analyze(catalog, args.view, out)
+        if args.command == "member":
+            return _cmd_member(catalog, args.view, args.query, out)
+        if args.command == "equivalent":
+            return _cmd_equivalent(catalog, args.first, args.second, out)
+        if args.command == "simplify":
+            return _cmd_simplify(catalog, out)
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    return 2  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

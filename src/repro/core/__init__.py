@@ -1,0 +1,6 @@
+"""High-level public API: the :class:`ViewAnalyzer` facade and report types."""
+
+from repro.core.analyzer import ViewAnalyzer
+from repro.core.report import DefinitionSummary, ViewAnalysisReport
+
+__all__ = ["ViewAnalyzer", "DefinitionSummary", "ViewAnalysisReport"]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the query-capacity reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation scheme, relation name or database schema is malformed."""
+
+
+class DomainError(ReproError):
+    """A symbol was used with an attribute whose domain does not contain it."""
+
+
+class InstanceError(ReproError):
+    """An instantiation maps a relation name to an incompatible relation."""
+
+
+class ExpressionError(ReproError):
+    """A multirelational expression is structurally invalid."""
+
+
+class ExpressionParseError(ExpressionError):
+    """The textual expression DSL could not be parsed."""
+
+
+class TemplateError(ReproError):
+    """A multirelational template violates the template conditions."""
+
+
+class SubstitutionError(TemplateError):
+    """A template assignment is incompatible with the template it is applied to."""
+
+
+class NotAnExpressionTemplateError(TemplateError):
+    """A template does not realise any project-join expression mapping."""
+
+
+class ViewError(ReproError):
+    """A view definition is malformed."""
+
+
+class CapacityError(ReproError):
+    """A query-capacity operation received incompatible arguments."""
+
+
+class CatalogError(ReproError):
+    """A textual catalogue document could not be parsed or serialised."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received inconsistent parameters."""

@@ -1,0 +1,44 @@
+"""Multirelational (project-join) expressions: AST, evaluation, expansion, DSL.
+
+Implements Section 1.2 of the paper: the expression language over relation
+names built from projection and join, evaluation over instantiations, the
+expression-expansion operation of Lemma 1.4.1 and supporting tooling (a
+textual DSL, a printer and mapping-preserving rewrites).
+"""
+
+from repro.relalg.ast import (
+    Expression,
+    Join,
+    Projection,
+    RelationRef,
+    join_expression,
+    projection,
+    relation,
+)
+from repro.relalg.evaluate import evaluate, expressions_equivalent
+from repro.relalg.expand import expand_expression
+from repro.relalg.parser import parse_expression
+from repro.relalg.printer import format_expression
+from repro.relalg.rewrites import (
+    count_projection_targets,
+    normalize_expression,
+    proper_projections,
+)
+
+__all__ = [
+    "Expression",
+    "Join",
+    "Projection",
+    "RelationRef",
+    "join_expression",
+    "projection",
+    "relation",
+    "evaluate",
+    "expressions_equivalent",
+    "expand_expression",
+    "parse_expression",
+    "format_expression",
+    "count_projection_targets",
+    "normalize_expression",
+    "proper_projections",
+]

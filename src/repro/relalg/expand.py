@@ -1,0 +1,59 @@
+"""Expression expansion (paper Lemma 1.4.1).
+
+Given an m.r. expression ``E`` whose relation names are among
+``eta_1, ..., eta_n`` and expressions ``E_1, ..., E_n`` with
+``R(eta_i) = TRS(E_i)``, the *expansion* of ``E`` replaces every occurrence
+of ``eta_i`` by ``E_i``.  Lemma 1.4.1 shows the result is again an m.r.
+expression and that it evaluates, on the underlying instantiation, to what
+``E`` evaluates to on the induced instantiation.  Theorem 1.4.2 builds the
+surrogate of a view query exactly this way.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import ExpressionError
+from repro.relalg.ast import Expression, Join, Projection, RelationRef
+from repro.relational.schema import RelationName
+
+__all__ = ["expand_expression"]
+
+
+def expand_expression(
+    expression: Expression,
+    replacements: Mapping[RelationName, Expression],
+    require_total: bool = False,
+) -> Expression:
+    """Replace relation names in ``expression`` by the expressions given.
+
+    ``replacements`` maps relation names ``eta_i`` to expressions ``E_i``;
+    every replacement must satisfy ``TRS(E_i) = R(eta_i)`` so that the result
+    is well typed (Lemma 1.4.1).  Names without a replacement are kept as-is
+    unless ``require_total`` is set, in which case they raise.
+    """
+
+    for name, replacement in replacements.items():
+        if replacement.target_scheme != name.type:
+            raise ExpressionError(
+                f"replacement for {name} has TRS {replacement.target_scheme}, "
+                f"expected {name.type}"
+            )
+
+    def walk(node: Expression) -> Expression:
+        if isinstance(node, RelationRef):
+            replacement = replacements.get(node.name)
+            if replacement is not None:
+                return replacement
+            if require_total:
+                raise ExpressionError(
+                    f"no replacement provided for relation name {node.name}"
+                )
+            return node
+        if isinstance(node, Projection):
+            return Projection(walk(node.child), node.target_scheme)
+        if isinstance(node, Join):
+            return Join(tuple(walk(operand) for operand in node.operands))
+        raise ExpressionError(f"unknown expression node {node!r}")
+
+    return walk(expression)

@@ -1,0 +1,168 @@
+"""A small textual DSL for multirelational expressions.
+
+Grammar (whitespace-insensitive)::
+
+    expression := join_term
+    join_term  := unary ( "&" unary )*            # also accepts "|x|"
+    unary      := projection | atom | "(" expression ")"
+    projection := "pi" "{" attr ("," attr)* "}" "(" expression ")"
+    atom       := identifier                       # a relation name of the schema
+
+Examples::
+
+    pi{A,B}(R)
+    (R & S)
+    pi{A,C}((R & pi{B,C}(S)))
+
+Relation names are resolved against the :class:`~repro.relational.schema.DatabaseSchema`
+passed to :func:`parse_expression`.  A join of ``n`` operands written with a
+chain of ``&`` produces a single n-ary :class:`~repro.relalg.ast.Join`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.exceptions import ExpressionParseError
+from repro.relalg.ast import Expression, Join, Projection, RelationRef
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["parse_expression"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<pi>\bpi\b)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<join>\&|\|x\|)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ExpressionParseError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token], schema: DatabaseSchema, text: str) -> None:
+        self._tokens = tokens
+        self._schema = schema
+        self._text = text
+        self._index = 0
+
+    def parse(self) -> Expression:
+        expression = self._parse_join()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ExpressionParseError(
+                f"unexpected token {token.text!r} at offset {token.position}"
+            )
+        return expression
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ExpressionParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise ExpressionParseError(
+                f"expected {kind} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    def _parse_join(self) -> Expression:
+        operands = [self._parse_unary()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "join":
+                self._advance()
+                operands.append(self._parse_unary())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return Join(tuple(operands))
+
+    def _parse_unary(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise ExpressionParseError(f"unexpected end of input in {self._text!r}")
+        if token.kind == "pi":
+            return self._parse_projection()
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._parse_join()
+            self._expect("rparen")
+            return inner
+        if token.kind == "name":
+            self._advance()
+            return self._resolve_name(token)
+        raise ExpressionParseError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+    def _parse_projection(self) -> Expression:
+        self._expect("pi")
+        self._expect("lbrace")
+        attributes = [self._expect("name").text]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._advance()
+            attributes.append(self._expect("name").text)
+        self._expect("rbrace")
+        self._expect("lparen")
+        child = self._parse_join()
+        self._expect("rparen")
+        return Projection(child, attributes)
+
+    def _resolve_name(self, token: _Token) -> RelationRef:
+        name = self._schema.get(token.text)
+        if name is None:
+            raise ExpressionParseError(
+                f"relation name {token.text!r} is not part of the schema"
+            )
+        return RelationRef(name)
+
+
+def parse_expression(text: str, schema: DatabaseSchema) -> Expression:
+    """Parse the DSL string ``text`` into an expression over ``schema``."""
+
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionParseError("cannot parse an empty expression")
+    return _Parser(tokens, schema, text).parse()

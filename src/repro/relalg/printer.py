@@ -1,0 +1,31 @@
+"""Pretty-printing of multirelational expressions.
+
+The printer emits the textual DSL accepted by :mod:`repro.relalg.parser`, so
+``parse_expression(format_expression(E), schema)`` round-trips every
+expression (structurally).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExpressionError
+from repro.relalg.ast import Expression, Join, Projection, RelationRef
+
+__all__ = ["format_expression"]
+
+
+def format_expression(expression: Expression) -> str:
+    """Serialise ``expression`` into the textual DSL.
+
+    Projections are written ``pi{A,B}(E)``, joins ``(E1 & E2 & ...)`` and
+    relation names as bare identifiers.
+    """
+
+    if isinstance(expression, RelationRef):
+        return expression.name.name
+    if isinstance(expression, Projection):
+        attrs = ",".join(a.name for a in expression.target_scheme.sorted_attributes())
+        return f"pi{{{attrs}}}({format_expression(expression.child)})"
+    if isinstance(expression, Join):
+        inner = " & ".join(format_expression(op) for op in expression.operands)
+        return f"({inner})"
+    raise ExpressionError(f"unknown expression node {expression!r}")

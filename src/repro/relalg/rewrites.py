@@ -1,0 +1,75 @@
+"""Algebraic normalisation of multirelational expressions.
+
+These rewrites preserve the expression mapping (they are the standard
+project-join identities used implicitly throughout the paper) and are handy
+for keeping machine-generated expressions readable:
+
+* ``pi_X(pi_Y(E)) = pi_X(E)`` when ``X <= Y`` (collapse nested projections);
+* ``pi_TRS(E)(E) = E`` (drop identity projections);
+* ``(E_1 |x| (E_2 |x| E_3)) = (E_1 |x| E_2 |x| E_3)`` (flatten nested joins).
+
+:func:`normalize_expression` applies all of them bottom-up;
+:func:`proper_projections` enumerates the proper projections of an
+expression mapping used by the Section 4 decomposition machinery.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List
+
+from repro.exceptions import ExpressionError
+from repro.relalg.ast import Expression, Join, Projection, RelationRef
+from repro.relational.schema import RelationScheme
+
+__all__ = ["normalize_expression", "proper_projections", "count_projection_targets"]
+
+
+def normalize_expression(expression: Expression) -> Expression:
+    """Apply mapping-preserving structural simplifications bottom-up."""
+
+    if isinstance(expression, RelationRef):
+        return expression
+    if isinstance(expression, Projection):
+        child = normalize_expression(expression.child)
+        target = expression.target_scheme
+        # Collapse pi_X(pi_Y(E)) into pi_X(E).
+        while isinstance(child, Projection):
+            child = child.child
+        if target == child.target_scheme:
+            return child
+        return Projection(child, target)
+    if isinstance(expression, Join):
+        flattened: List[Expression] = []
+        for operand in expression.operands:
+            simplified = normalize_expression(operand)
+            if isinstance(simplified, Join):
+                flattened.extend(simplified.operands)
+            else:
+                flattened.append(simplified)
+        if len(flattened) == 1:
+            return flattened[0]
+        return Join(tuple(flattened))
+    raise ExpressionError(f"unknown expression node {expression!r}")
+
+
+def count_projection_targets(expression: Expression) -> int:
+    """The number of distinct nonempty proper subsets of ``TRS(expression)``."""
+
+    width = len(expression.target_scheme)
+    return (2**width) - 2
+
+
+def proper_projections(expression: Expression) -> Iterator[Projection]:
+    """Yield ``pi_X(expression)`` for every nonempty proper ``X`` of ``TRS``.
+
+    This enumerates the *proper projections* of the expression mapping used
+    by the simplification normal form (Section 4.1).  The iterator yields
+    larger subsets first so that greedy decomposition favours
+    information-preserving splits.
+    """
+
+    attrs = expression.target_scheme.sorted_attributes()
+    for size in range(len(attrs) - 1, 0, -1):
+        for subset in combinations(attrs, size):
+            yield Projection(expression, RelationScheme(subset))

@@ -1,0 +1,52 @@
+"""Relational substrate: attributes, schemes, tuples, relations, instances.
+
+This package implements the multirelational database model of Section 1.1 of
+the paper: attributes with pairwise-disjoint domains, relation schemes,
+tagged relation names, database schemas, tuples, finite relations,
+instantiations and the projection / natural-join operations.
+"""
+
+from repro.relational.attributes import (
+    Attribute,
+    Constant,
+    DistinguishedSymbol,
+    MarkedSymbol,
+    Symbol,
+    attributes,
+    constant,
+    distinguished,
+)
+from repro.relational.instance import Instantiation
+from repro.relational.operations import join, join_all, project
+from repro.relational.schema import DatabaseSchema, RelationName, RelationScheme, scheme
+from repro.relational.tuples import Relation, Tuple, tuple_from_values
+from repro.relational.generators import (
+    random_instantiation,
+    random_relation,
+    skewed_instantiation,
+)
+
+__all__ = [
+    "Attribute",
+    "Constant",
+    "DistinguishedSymbol",
+    "MarkedSymbol",
+    "Symbol",
+    "attributes",
+    "constant",
+    "distinguished",
+    "Instantiation",
+    "join",
+    "join_all",
+    "project",
+    "DatabaseSchema",
+    "RelationName",
+    "RelationScheme",
+    "scheme",
+    "Relation",
+    "Tuple",
+    "tuple_from_values",
+    "random_instantiation",
+    "random_relation",
+    "skewed_instantiation",
+]

@@ -1,0 +1,245 @@
+"""Attributes, domains and domain symbols (paper Section 1.1).
+
+The paper assumes an infinite set of attributes, and for every attribute ``A``
+an infinite domain ``Dom(A)`` such that domains of distinct attributes are
+disjoint.  One element of each domain, written ``0_A``, is *distinguished*;
+every other element is *nondistinguished*.
+
+This module models that universe:
+
+* :class:`Attribute` — a named attribute.
+* :class:`Symbol` — an element of some ``Dom(A)``.  Disjointness of domains is
+  automatic because the owning attribute is part of a symbol's identity.
+* :class:`DistinguishedSymbol` — the unique ``0_A`` of an attribute.
+* :class:`Constant` — any nondistinguished element of a domain.  Database
+  instances are populated with constants, and template nondistinguished
+  symbols are constants as well (the paper does not separate the two: a
+  nondistinguished symbol *is* just a domain element other than ``0_A``).
+* :class:`MarkedSymbol` — a nondistinguished symbol produced by the marking
+  function ``mark_T(tau, a)`` used by template substitution (Section 2.2).
+
+All classes are immutable and hashable so they can live in sets and serve as
+dictionary keys, mirroring the set-theoretic style of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Tuple
+
+from repro.exceptions import DomainError
+
+__all__ = [
+    "Attribute",
+    "Symbol",
+    "DistinguishedSymbol",
+    "Constant",
+    "MarkedSymbol",
+    "attributes",
+    "distinguished",
+    "constant",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A named attribute.
+
+    Attributes compare and sort by name; two :class:`Attribute` objects with
+    the same name denote the same attribute.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DomainError("attribute name must be a non-empty string")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r})"
+
+
+def attributes(names: Iterable[str]) -> Tuple[Attribute, ...]:
+    """Create a tuple of attributes from an iterable of names.
+
+    ``attributes("ABC")`` is a convenient way to obtain the single-letter
+    attributes used throughout the paper's examples.
+    """
+
+    return tuple(Attribute(name) for name in names)
+
+
+class Symbol:
+    """An element of ``Dom(A)`` for some attribute ``A``.
+
+    Concrete symbols are either :class:`DistinguishedSymbol`,
+    :class:`Constant` or :class:`MarkedSymbol`.  The class is written without
+    ``dataclass`` so subclasses can precompute their hash.
+    """
+
+    __slots__ = ("_attribute",)
+
+    def __init__(self, attribute: Attribute) -> None:
+        if not isinstance(attribute, Attribute):
+            raise DomainError(f"expected an Attribute, got {attribute!r}")
+        object.__setattr__(self, "_attribute", attribute)
+
+    @property
+    def attribute(self) -> Attribute:
+        """The attribute whose domain this symbol belongs to."""
+
+        return self._attribute
+
+    @property
+    def is_distinguished(self) -> bool:
+        """Whether this symbol is the distinguished element ``0_A``."""
+
+        return False
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("symbols are immutable")
+
+
+class DistinguishedSymbol(Symbol):
+    """The distinguished element ``0_A`` of an attribute's domain.
+
+    There is exactly one distinguished symbol per attribute; equality is by
+    attribute.
+    """
+
+    __slots__ = ("_hash",)
+
+    def __init__(self, attribute: Attribute) -> None:
+        super().__init__(attribute)
+        object.__setattr__(self, "_hash", hash(("0", attribute)))
+
+    @property
+    def is_distinguished(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DistinguishedSymbol) and other.attribute == self.attribute
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"0_{self.attribute.name}"
+
+    def __repr__(self) -> str:
+        return f"DistinguishedSymbol({self.attribute.name!r})"
+
+
+class Constant(Symbol):
+    """A nondistinguished element of an attribute's domain.
+
+    The ``value`` may be any hashable object; two constants are equal when
+    they agree on both attribute and value.
+    """
+
+    __slots__ = ("_value", "_hash")
+
+    def __init__(self, attribute: Attribute, value: Hashable) -> None:
+        super().__init__(attribute)
+        try:
+            hash(value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise DomainError(f"constant value must be hashable, got {value!r}") from exc
+        object.__setattr__(self, "_value", value)
+        object.__setattr__(self, "_hash", hash(("c", attribute, value)))
+
+    @property
+    def value(self) -> Hashable:
+        """The payload carried by this constant."""
+
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and not isinstance(other, MarkedSymbol)
+            and not isinstance(self, MarkedSymbol)
+            and other.attribute == self.attribute
+            and other._value == self._value
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{self._value}:{self.attribute.name}"
+
+    def __repr__(self) -> str:
+        return f"Constant({self.attribute.name!r}, {self._value!r})"
+
+
+class MarkedSymbol(Constant):
+    """A nondistinguished symbol marked by a tagged tuple (Section 2.2).
+
+    ``mark_T(tau, a)`` produces, for a tagged tuple ``tau`` and symbol ``a``,
+    a fresh nondistinguished symbol that does not occur in the template
+    ``T``.  We realise the marking function by structural construction: the
+    marked symbol records the marking key (an opaque identifier of ``tau``)
+    together with the symbol being marked.  Injectivity of the marking
+    function then holds by construction.
+    """
+
+    __slots__ = ("_mark_key", "_base")
+
+    def __init__(self, attribute: Attribute, mark_key: Hashable, base: "Symbol") -> None:
+        if not isinstance(base, Symbol):
+            raise DomainError(f"expected a Symbol to mark, got {base!r}")
+        if base.attribute != attribute:
+            raise DomainError(
+                f"marked symbol attribute {attribute} does not match base symbol "
+                f"attribute {base.attribute}"
+            )
+        super().__init__(attribute, ("mark", mark_key, base))
+        object.__setattr__(self, "_mark_key", mark_key)
+        object.__setattr__(self, "_base", base)
+
+    @property
+    def mark_key(self) -> Hashable:
+        """Opaque identifier of the tagged tuple that marked this symbol."""
+
+        return self._mark_key
+
+    @property
+    def base(self) -> Symbol:
+        """The symbol that was marked."""
+
+        return self._base
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MarkedSymbol)
+            and other.attribute == self.attribute
+            and other._mark_key == self._mark_key
+            and other._base == self._base
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"<{self._mark_key},{self._base}>"
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkedSymbol({self.attribute.name!r}, {self._mark_key!r}, {self._base!r})"
+        )
+
+
+def distinguished(attribute: Attribute) -> DistinguishedSymbol:
+    """Return the distinguished symbol ``0_A`` of ``attribute``."""
+
+    return DistinguishedSymbol(attribute)
+
+
+def constant(attribute: Attribute, value: Hashable) -> Constant:
+    """Return the nondistinguished domain element ``value`` of ``attribute``."""
+
+    return Constant(attribute, value)

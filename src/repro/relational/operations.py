@@ -1,0 +1,80 @@
+"""Projection and natural join on relations (paper Section 1.1).
+
+These are the only two relational operations the paper's query language
+uses.  The join is the natural join: the result scheme is the union of the
+operand schemes and a result tuple restricts to a tuple of each operand.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple as PyTuple, Union
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import AttributeLike, RelationScheme, scheme
+from repro.relational.tuples import Relation, Tuple
+
+__all__ = ["project", "join", "join_all"]
+
+
+def project(relation: Relation, onto: Union[RelationScheme, Iterable[AttributeLike], str]) -> Relation:
+    """The projection ``pi_X(I)`` of ``relation`` onto the nonempty scheme ``onto``.
+
+    ``onto`` must be a nonempty subset of the relation's scheme.
+    """
+
+    target = scheme(onto)
+    if not target.issubset(relation.scheme):
+        raise SchemaError(
+            f"cannot project a relation on {relation.scheme} onto {target}"
+        )
+    return Relation(target, (t.project(target) for t in relation.tuples))
+
+
+def join(left: Relation, right: Relation) -> Relation:
+    """The natural join ``I |x| J`` of two relations.
+
+    The result is a relation on the union of the two schemes containing every
+    tuple whose restrictions to the operand schemes belong to the operands.
+    A hash join on the common attributes is used so the operation stays
+    close to ``O(|I| + |J| + |result|)`` for selective joins.
+    """
+
+    result_scheme = left.scheme.union(right.scheme)
+    common = left.scheme.intersection(right.scheme)
+
+    if not common:
+        tuples = []
+        for l_tuple in left.tuples:
+            for r_tuple in right.tuples:
+                combined = l_tuple.join(r_tuple)
+                if combined is not None:
+                    tuples.append(combined)
+        return Relation(result_scheme, tuples)
+
+    common_attrs = tuple(sorted(common))
+    buckets: Dict[PyTuple[object, ...], List[Tuple]] = defaultdict(list)
+    for r_tuple in right.tuples:
+        key = tuple(r_tuple.value(attr) for attr in common_attrs)
+        buckets[key].append(r_tuple)
+
+    joined = []
+    for l_tuple in left.tuples:
+        key = tuple(l_tuple.value(attr) for attr in common_attrs)
+        for r_tuple in buckets.get(key, ()):
+            combined = l_tuple.join(r_tuple)
+            if combined is not None:
+                joined.append(combined)
+    return Relation(result_scheme, joined)
+
+
+def join_all(relations: Iterable[Relation]) -> Relation:
+    """The natural join of one or more relations, evaluated left to right."""
+
+    items = list(relations)
+    if not items:
+        raise SchemaError("join_all requires at least one relation")
+    result = items[0]
+    for other in items[1:]:
+        result = join(result, other)
+    return result

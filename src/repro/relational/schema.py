@@ -1,0 +1,297 @@
+"""Relation schemes, relation names and database schemas (paper Section 1.1).
+
+* A *relation scheme* is a finite nonempty set of attributes.
+* A *relation name* ``eta`` has an associated relation scheme ``R(eta)``
+  called its *type*; the paper assumes infinitely many names of every type,
+  which we model simply by letting callers mint names freely.
+* A *database schema* over a universe ``U`` is a finite nonempty set of
+  relation names whose types union to ``U``.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.relational.attributes import Attribute, attributes
+
+__all__ = ["RelationScheme", "RelationName", "DatabaseSchema", "scheme"]
+
+AttributeLike = Union[Attribute, str]
+
+
+def _as_attribute(item: AttributeLike) -> Attribute:
+    if isinstance(item, Attribute):
+        return item
+    if isinstance(item, str):
+        return Attribute(item)
+    raise SchemaError(f"expected an Attribute or attribute name, got {item!r}")
+
+
+class RelationScheme:
+    """A finite, nonempty set of attributes.
+
+    The scheme behaves like a frozen set of :class:`Attribute` objects and
+    additionally exposes convenience set operations that return schemes.
+    """
+
+    __slots__ = ("_attributes", "_hash")
+
+    def __init__(self, items: Iterable[AttributeLike]) -> None:
+        attrs = frozenset(_as_attribute(item) for item in items)
+        if not attrs:
+            raise SchemaError("a relation scheme must contain at least one attribute")
+        object.__setattr__(self, "_attributes", attrs)
+        object.__setattr__(self, "_hash", hash(attrs))
+
+    @property
+    def attributes(self) -> FrozenSet[Attribute]:
+        """The attributes of the scheme as a frozen set."""
+
+        return self._attributes
+
+    def sorted_attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes in name order (useful for stable display)."""
+
+        return tuple(sorted(self._attributes))
+
+    def union(self, other: "RelationScheme") -> "RelationScheme":
+        """The scheme containing the attributes of both schemes."""
+
+        return RelationScheme(self._attributes | other._attributes)
+
+    def intersection(self, other: "RelationScheme") -> FrozenSet[Attribute]:
+        """The attributes common to both schemes (possibly empty)."""
+
+        return self._attributes & other._attributes
+
+    def issubset(self, other: "RelationScheme") -> bool:
+        """Whether every attribute of this scheme belongs to ``other``."""
+
+        return self._attributes <= other._attributes
+
+    def issuperset(self, other: "RelationScheme") -> bool:
+        """Whether this scheme contains every attribute of ``other``."""
+
+        return self._attributes >= other._attributes
+
+    def contains(self, items: Iterable[AttributeLike]) -> bool:
+        """Whether every attribute in ``items`` belongs to the scheme."""
+
+        return all(_as_attribute(item) in self._attributes for item in items)
+
+    def restrict(self, items: Iterable[AttributeLike]) -> "RelationScheme":
+        """The subscheme consisting of ``items``; all must belong to the scheme."""
+
+        attrs = frozenset(_as_attribute(item) for item in items)
+        if not attrs <= self._attributes:
+            missing = attrs - self._attributes
+            raise SchemaError(f"attributes {sorted(a.name for a in missing)} not in scheme {self}")
+        return RelationScheme(attrs)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, (Attribute, str)):
+            return _as_attribute(item) in self._attributes
+        return False
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.sorted_attributes())
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationScheme):
+            return self._attributes == other._attributes
+        if isinstance(other, (frozenset, set)):
+            return self._attributes == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __or__(self, other: "RelationScheme") -> "RelationScheme":
+        return self.union(other)
+
+    def __and__(self, other: "RelationScheme") -> FrozenSet[Attribute]:
+        return self.intersection(other)
+
+    def __le__(self, other: "RelationScheme") -> bool:
+        return self.issubset(other)
+
+    def __ge__(self, other: "RelationScheme") -> bool:
+        return self.issuperset(other)
+
+    def __str__(self) -> str:
+        return "".join(a.name for a in self.sorted_attributes())
+
+    def __repr__(self) -> str:
+        return f"RelationScheme({[a.name for a in self.sorted_attributes()]!r})"
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("relation schemes are immutable")
+
+
+def scheme(spec: Union[RelationScheme, Iterable[AttributeLike], str]) -> RelationScheme:
+    """Coerce ``spec`` into a :class:`RelationScheme`.
+
+    Accepts an existing scheme, an iterable of attributes/names, or a string
+    of single-character attribute names (``scheme("ABC")``).
+    """
+
+    if isinstance(spec, RelationScheme):
+        return spec
+    if isinstance(spec, str):
+        return RelationScheme(attributes(spec))
+    return RelationScheme(spec)
+
+
+class RelationName:
+    """A relation name together with its type ``R(eta)``.
+
+    Relation names are immutable value objects: two names with the same
+    string and type are the same name.
+    """
+
+    __slots__ = ("_name", "_type", "_hash")
+
+    def __init__(self, name: str, rel_type: Union[RelationScheme, Iterable[AttributeLike], str]) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError("a relation name must be a non-empty string")
+        typ = scheme(rel_type)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_type", typ)
+        object.__setattr__(self, "_hash", hash((name, typ)))
+
+    @property
+    def name(self) -> str:
+        """The textual name of the relation."""
+
+        return self._name
+
+    @property
+    def type(self) -> RelationScheme:
+        """The relation scheme ``R(eta)`` of this name."""
+
+        return self._type
+
+    def renamed(self, new_name: str) -> "RelationName":
+        """A relation name of identical type with a different textual name."""
+
+        return RelationName(new_name, self._type)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationName)
+            and other._name == self._name
+            and other._type == self._type
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{self._name}:{self._type}"
+
+    def __repr__(self) -> str:
+        return f"RelationName({self._name!r}, {str(self._type)!r})"
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("relation names are immutable")
+
+
+class DatabaseSchema:
+    """A finite, nonempty set of relation names (paper Section 1.1).
+
+    The universe ``U`` of the schema is the union of the types of its
+    relation names.
+    """
+
+    __slots__ = ("_names", "_by_name", "_universe", "_hash")
+
+    def __init__(self, names: Iterable[RelationName]) -> None:
+        name_set = frozenset(names)
+        if not name_set:
+            raise SchemaError("a database schema must contain at least one relation name")
+        for item in name_set:
+            if not isinstance(item, RelationName):
+                raise SchemaError(f"expected RelationName instances, got {item!r}")
+        by_name: Dict[str, RelationName] = {}
+        for item in sorted(name_set, key=lambda r: r.name):
+            if item.name in by_name:
+                raise SchemaError(
+                    f"database schema contains two relation names with the text {item.name!r}"
+                )
+            by_name[item.name] = item
+        universe = RelationScheme(
+            attr for item in name_set for attr in item.type.attributes
+        )
+        object.__setattr__(self, "_names", name_set)
+        object.__setattr__(self, "_by_name", by_name)
+        object.__setattr__(self, "_universe", universe)
+        object.__setattr__(self, "_hash", hash(name_set))
+
+    @property
+    def relation_names(self) -> FrozenSet[RelationName]:
+        """The relation names of the schema."""
+
+        return self._names
+
+    @property
+    def universe(self) -> RelationScheme:
+        """The universe ``U``: the union of the types of all relation names."""
+
+        return self._universe
+
+    def get(self, name: str) -> Optional[RelationName]:
+        """The relation name with textual name ``name``, or ``None``."""
+
+        return self._by_name.get(name)
+
+    def __getitem__(self, name: str) -> RelationName:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema has no relation named {name!r}") from None
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, RelationName):
+            return item in self._names
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __iter__(self) -> Iterator[RelationName]:
+        return iter(sorted(self._names, key=lambda r: r.name))
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatabaseSchema):
+            return self._names == other._names
+        if isinstance(other, (set, frozenset)):
+            return self._names == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def covers(self, names: AbstractSet[RelationName]) -> bool:
+        """Whether every relation name in ``names`` belongs to the schema."""
+
+        return names <= self._names
+
+    def extend(self, names: Iterable[RelationName]) -> "DatabaseSchema":
+        """A new schema containing this schema's names plus ``names``."""
+
+        return DatabaseSchema(set(self._names) | set(names))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(name) for name in self) + "}"
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({sorted(str(n) for n in self._names)!r})"
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("database schemas are immutable")

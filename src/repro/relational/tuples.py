@@ -1,0 +1,242 @@
+"""Tuples and relations (paper Section 1.1).
+
+A *tuple* over a relation scheme ``R`` maps every attribute ``A`` of ``R``
+to an element of ``Dom(A)``.  A *relation* on ``R`` is a finite set of such
+tuples.  Both are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple as PyTuple, Union
+
+from repro.exceptions import DomainError, SchemaError
+from repro.relational.attributes import Attribute, Constant, Symbol
+from repro.relational.schema import AttributeLike, RelationScheme, scheme
+
+__all__ = ["Tuple", "Relation", "tuple_from_values"]
+
+
+class Tuple:
+    """A mapping from the attributes of a relation scheme to domain symbols."""
+
+    __slots__ = ("_scheme", "_values", "_hash")
+
+    def __init__(self, values: Mapping[Attribute, Symbol]) -> None:
+        if not values:
+            raise SchemaError("a tuple must be defined over a nonempty relation scheme")
+        checked: Dict[Attribute, Symbol] = {}
+        for attr, sym in values.items():
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"tuple keys must be attributes, got {attr!r}")
+            if not isinstance(sym, Symbol):
+                raise DomainError(f"tuple values must be domain symbols, got {sym!r}")
+            if sym.attribute != attr:
+                raise DomainError(
+                    f"symbol {sym} belongs to Dom({sym.attribute}) but was assigned to "
+                    f"attribute {attr}"
+                )
+            checked[attr] = sym
+        tuple_scheme = RelationScheme(checked.keys())
+        items = tuple(sorted(checked.items(), key=lambda kv: kv[0].name))
+        object.__setattr__(self, "_scheme", tuple_scheme)
+        object.__setattr__(self, "_values", dict(items))
+        object.__setattr__(self, "_hash", hash(items))
+
+    @property
+    def scheme(self) -> RelationScheme:
+        """The relation scheme the tuple is defined over."""
+
+        return self._scheme
+
+    def value(self, attribute: AttributeLike) -> Symbol:
+        """The symbol the tuple assigns to ``attribute``."""
+
+        attr = attribute if isinstance(attribute, Attribute) else Attribute(str(attribute))
+        try:
+            return self._values[attr]
+        except KeyError:
+            raise SchemaError(f"tuple over {self._scheme} has no attribute {attr}") from None
+
+    def __getitem__(self, attribute: AttributeLike) -> Symbol:
+        return self.value(attribute)
+
+    def __call__(self, attribute: AttributeLike) -> Symbol:
+        """The paper writes ``t(A)``; allow the same call syntax."""
+
+        return self.value(attribute)
+
+    def items(self) -> Iterator[PyTuple[Attribute, Symbol]]:
+        """Iterate over ``(attribute, symbol)`` pairs in attribute-name order."""
+
+        return iter(self._values.items())
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Iterate over the symbols of the tuple in attribute-name order."""
+
+        return iter(self._values.values())
+
+    def project(self, onto: Union[RelationScheme, Iterable[AttributeLike], str]) -> "Tuple":
+        """The projection ``t[X]`` of the tuple onto a nonempty ``X <= scheme``."""
+
+        target = scheme(onto)
+        if not target.issubset(self._scheme):
+            raise SchemaError(f"cannot project tuple over {self._scheme} onto {target}")
+        return Tuple({attr: self._values[attr] for attr in target.attributes})
+
+    def replace(self, mapping: Mapping[Symbol, Symbol]) -> "Tuple":
+        """A tuple with every symbol rewritten through ``mapping`` (identity otherwise)."""
+
+        return Tuple({attr: mapping.get(sym, sym) for attr, sym in self._values.items()})
+
+    def joinable(self, other: "Tuple") -> bool:
+        """Whether the two tuples agree on every common attribute."""
+
+        common = self._scheme.intersection(other._scheme)
+        return all(self._values[attr] == other._values[attr] for attr in common)
+
+    def join(self, other: "Tuple") -> Optional["Tuple"]:
+        """The combined tuple over the union scheme, or ``None`` if not joinable."""
+
+        if not self.joinable(other):
+            return None
+        combined = dict(self._values)
+        combined.update(other._values)
+        return Tuple(combined)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Tuple) and other._values == self._values
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __str__(self) -> str:
+        cells = ", ".join(f"{attr.name}={sym}" for attr, sym in self._values.items())
+        return f"({cells})"
+
+    def __repr__(self) -> str:
+        return f"Tuple({ {attr.name: str(sym) for attr, sym in self._values.items()} })"
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("tuples are immutable")
+
+
+def tuple_from_values(
+    target: Union[RelationScheme, Iterable[AttributeLike], str],
+    values: Mapping[str, object],
+) -> Tuple:
+    """Build a tuple of constants over ``target`` from plain Python values.
+
+    ``values`` maps attribute names to arbitrary hashable payloads; each
+    payload is wrapped into a :class:`Constant` of the right attribute.  This
+    is the convenient constructor used by examples and workload generators.
+    """
+
+    target_scheme = scheme(target)
+    missing = {attr.name for attr in target_scheme.attributes} - set(values)
+    if missing:
+        raise SchemaError(f"missing values for attributes {sorted(missing)}")
+    assignment: Dict[Attribute, Symbol] = {}
+    for attr in target_scheme.attributes:
+        payload = values[attr.name]
+        assignment[attr] = payload if isinstance(payload, Symbol) else Constant(attr, payload)
+    return Tuple(assignment)
+
+
+class Relation:
+    """A finite set of tuples over a common relation scheme."""
+
+    __slots__ = ("_scheme", "_tuples", "_hash")
+
+    def __init__(
+        self,
+        rel_scheme: Union[RelationScheme, Iterable[AttributeLike], str],
+        tuples: Iterable[Tuple] = (),
+    ) -> None:
+        target = scheme(rel_scheme)
+        tuple_set = frozenset(tuples)
+        for item in tuple_set:
+            if not isinstance(item, Tuple):
+                raise SchemaError(f"relations contain Tuple instances, got {item!r}")
+            if item.scheme != target:
+                raise SchemaError(
+                    f"tuple over {item.scheme} cannot belong to a relation on {target}"
+                )
+        object.__setattr__(self, "_scheme", target)
+        object.__setattr__(self, "_tuples", tuple_set)
+        object.__setattr__(self, "_hash", hash((target, tuple_set)))
+
+    @property
+    def scheme(self) -> RelationScheme:
+        """The relation scheme of the relation."""
+
+        return self._scheme
+
+    @property
+    def tuples(self) -> FrozenSet[Tuple]:
+        """The tuples of the relation."""
+
+        return self._tuples
+
+    @classmethod
+    def empty(cls, rel_scheme: Union[RelationScheme, Iterable[AttributeLike], str]) -> "Relation":
+        """The empty relation over ``rel_scheme``."""
+
+        return cls(rel_scheme, ())
+
+    @classmethod
+    def from_values(
+        cls,
+        rel_scheme: Union[RelationScheme, Iterable[AttributeLike], str],
+        rows: Iterable[Mapping[str, object]],
+    ) -> "Relation":
+        """Build a relation from dictionaries of plain Python values."""
+
+        target = scheme(rel_scheme)
+        return cls(target, (tuple_from_values(target, row) for row in rows))
+
+    def with_tuple(self, item: Tuple) -> "Relation":
+        """A relation with ``item`` added."""
+
+        return Relation(self._scheme, set(self._tuples) | {item})
+
+    def union(self, other: "Relation") -> "Relation":
+        """The union of two relations over the same scheme."""
+
+        if other.scheme != self._scheme:
+            raise SchemaError("cannot union relations over different schemes")
+        return Relation(self._scheme, self._tuples | other._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(sorted(self._tuples, key=str))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and other._scheme == self._scheme
+            and other._tuples == self._tuples
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        rows = ", ".join(str(t) for t in self)
+        return f"Relation[{self._scheme}]{{{rows}}}"
+
+    def __repr__(self) -> str:
+        return f"Relation({str(self._scheme)!r}, {len(self._tuples)} tuples)"
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("relations are immutable")

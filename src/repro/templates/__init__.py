@@ -1,0 +1,63 @@
+"""Multirelational templates (tagged tableaux) and their operations.
+
+Implements Section 2 of the paper: tagged tuples, templates, evaluation via
+alpha-embeddings, homomorphisms and containment (Propositions 2.4.1–2.4.3),
+reduction (Proposition 2.4.4), the expression-to-template conversion of
+Algorithm 2.1.1, the expression-template recogniser standing in for
+Proposition 2.4.6, and template substitution (Section 2.2).
+"""
+
+from repro.templates.algebra import join_templates, project_template
+from repro.templates.canonical import canonical_instantiation, has_homomorphism_via_canonical
+from repro.templates.embedding import embedding_count, evaluate_template, iter_embeddings
+from repro.templates.from_expression import template_from_expression
+from repro.templates.homomorphism import (
+    apply_symbol_map,
+    find_homomorphism,
+    has_homomorphism,
+    iter_foldings,
+    iter_homomorphisms,
+    template_contained_in,
+    templates_equivalent,
+    templates_isomorphic,
+)
+from repro.templates.reduction import is_reduced, reduce_template
+from repro.templates.substitution import (
+    SubstitutionResult,
+    TemplateAssignment,
+    apply_assignment,
+    substitute,
+)
+from repro.templates.tagged_tuple import TaggedTuple
+from repro.templates.template import Template, atomic_template
+from repro.templates.to_expression import expression_from_template, is_expression_template
+
+__all__ = [
+    "join_templates",
+    "project_template",
+    "canonical_instantiation",
+    "has_homomorphism_via_canonical",
+    "embedding_count",
+    "evaluate_template",
+    "iter_embeddings",
+    "template_from_expression",
+    "apply_symbol_map",
+    "find_homomorphism",
+    "has_homomorphism",
+    "iter_foldings",
+    "iter_homomorphisms",
+    "template_contained_in",
+    "templates_equivalent",
+    "templates_isomorphic",
+    "is_reduced",
+    "reduce_template",
+    "SubstitutionResult",
+    "TemplateAssignment",
+    "apply_assignment",
+    "substitute",
+    "TaggedTuple",
+    "Template",
+    "atomic_template",
+    "expression_from_template",
+    "is_expression_template",
+]

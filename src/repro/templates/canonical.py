@@ -1,0 +1,59 @@
+"""Canonical ("frozen") instantiations of templates.
+
+The canonical instantiation of a template ``T`` treats every tagged tuple
+``(t, eta)`` as a data tuple of the relation assigned to ``eta`` — the
+symbols of the template are, after all, ordinary domain elements.  Canonical
+instantiations give a computational handle on the classical correspondence
+behind Proposition 2.4.1: a homomorphism from ``T`` to ``S`` exists exactly
+when the all-distinguished tuple on ``TRS(T)`` belongs to ``T`` evaluated on
+the canonical instantiation of ``S`` (provided ``TRS(T) <= TRS(S)``).  The
+test-suite uses this as an independent cross-check of the homomorphism
+search, and the workload generators use canonical instantiations to produce
+instances on which a given query is guaranteed to return rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.relational.attributes import DistinguishedSymbol
+from repro.relational.instance import Instantiation
+from repro.relational.schema import RelationName
+from repro.relational.tuples import Relation, Tuple
+from repro.templates.embedding import evaluate_template
+from repro.templates.template import Template
+
+__all__ = ["canonical_instantiation", "has_homomorphism_via_canonical"]
+
+
+def canonical_instantiation(template: Template) -> Instantiation:
+    """The instantiation whose relations are exactly the rows of ``template``."""
+
+    grouped: Dict[RelationName, Set[Tuple]] = {}
+    for row in template.rows:
+        grouped.setdefault(row.name, set()).add(row.tuple)
+    return Instantiation(
+        {name: Relation(name.type, tuples) for name, tuples in grouped.items()}
+    )
+
+
+def has_homomorphism_via_canonical(source: Template, target: Template) -> bool:
+    """Decide homomorphism existence by evaluating on the canonical instance.
+
+    There is a homomorphism from ``source`` to ``target`` iff evaluating
+    ``source`` on the canonical instantiation of ``target`` produces the
+    all-distinguished tuple on ``TRS(source)`` — the same criterion the
+    classical chase argument uses.  Provided as an independent oracle for the
+    direct backtracking search in :mod:`repro.templates.homomorphism`.
+    """
+
+    if not source.target_scheme.issubset(target.target_scheme):
+        # A homomorphism fixes distinguished symbols, so every distinguished
+        # column of ``source`` must also be distinguished somewhere in target.
+        return False
+    frozen = canonical_instantiation(target)
+    result = evaluate_template(source, frozen)
+    witness = Tuple(
+        {attr: DistinguishedSymbol(attr) for attr in source.target_scheme.attributes}
+    )
+    return witness in result

@@ -1,0 +1,209 @@
+"""Homomorphisms between templates (paper Section 2.4).
+
+A *homomorphism* from template ``T`` to template ``S`` is a valuation ``f``
+with ``f(0_A) = 0_A`` for every attribute such that the image of every tagged
+tuple of ``T`` is a tagged tuple of ``S`` (with the same relation-name tag).
+
+The central facts reproduced here are:
+
+* Proposition 2.4.1 — ``S(alpha) <= T(alpha)`` for every instantiation iff
+  there is a homomorphism from ``T`` to ``S``.
+* Corollary 2.4.2 — ``T == S`` (as mappings) iff there are homomorphisms in
+  both directions.
+* Proposition 2.4.3 — both questions are decidable; the implementation is a
+  backtracking search over row images.
+
+The module additionally provides *relaxed* homomorphisms ("foldings") that
+are allowed to map distinguished symbols to arbitrary symbols of the target.
+These are not used by the paper directly but drive the optimised
+query-capacity membership test (see :mod:`repro.views.capacity`), where every
+folding of a defining template into the goal query contributes one candidate
+view atom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.relational.attributes import DistinguishedSymbol, Symbol
+from repro.templates.tagged_tuple import TaggedTuple
+from repro.templates.template import Template
+
+__all__ = [
+    "iter_homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+    "template_contained_in",
+    "templates_equivalent",
+    "templates_isomorphic",
+    "iter_foldings",
+    "apply_symbol_map",
+]
+
+SymbolMap = Dict[Symbol, Symbol]
+
+
+def _candidate_rows(row: TaggedTuple, target: Template, preserve_distinguished: bool) -> List[TaggedTuple]:
+    """Rows of ``target`` that ``row`` could map onto."""
+
+    candidates = []
+    for other in target.rows_tagged(row.name):
+        if preserve_distinguished:
+            compatible = all(
+                (not symbol.is_distinguished) or other.value(attr).is_distinguished
+                for attr, symbol in row.items()
+            )
+            if not compatible:
+                continue
+        candidates.append(other)
+    return candidates
+
+
+def _iter_maps(
+    source: Template,
+    target: Template,
+    preserve_distinguished: bool,
+) -> Iterator[SymbolMap]:
+    """Backtracking search over symbol maps sending source rows onto target rows."""
+
+    rows = sorted(
+        source.rows,
+        key=lambda row: (len(_candidate_rows(row, target, preserve_distinguished)), str(row)),
+    )
+    candidate_lists = [_candidate_rows(row, target, preserve_distinguished) for row in rows]
+    if any(not candidates for candidates in candidate_lists):
+        return
+
+    def extend(mapping: SymbolMap, row: TaggedTuple, image: TaggedTuple) -> Optional[SymbolMap]:
+        extension: SymbolMap = {}
+        for attr, symbol in row.items():
+            target_symbol = image.value(attr)
+            if preserve_distinguished and symbol.is_distinguished:
+                if not target_symbol.is_distinguished:
+                    return None
+                continue
+            bound = mapping.get(symbol, extension.get(symbol))
+            if bound is None:
+                extension[symbol] = target_symbol
+            elif bound != target_symbol:
+                return None
+        merged = dict(mapping)
+        merged.update(extension)
+        return merged
+
+    def search(index: int, mapping: SymbolMap) -> Iterator[SymbolMap]:
+        if index == len(rows):
+            yield mapping
+            return
+        row = rows[index]
+        for image in candidate_lists[index]:
+            extended = extend(mapping, row, image)
+            if extended is not None:
+                yield from search(index + 1, extended)
+
+    yield from search(0, {})
+
+
+def _complete_map(mapping: SymbolMap, source: Template) -> SymbolMap:
+    """Extend a partial map with the identity on distinguished symbols of the source."""
+
+    completed = dict(mapping)
+    for symbol in source.symbols():
+        if symbol.is_distinguished:
+            completed.setdefault(symbol, symbol)
+        else:
+            completed.setdefault(symbol, symbol)
+    return completed
+
+
+def iter_homomorphisms(source: Template, target: Template) -> Iterator[SymbolMap]:
+    """Yield homomorphisms from ``source`` to ``target`` as symbol maps.
+
+    Every yielded map is total on the symbols of ``source`` and fixes
+    distinguished symbols.
+    """
+
+    for mapping in _iter_maps(source, target, preserve_distinguished=True):
+        yield _complete_map(mapping, source)
+
+
+def find_homomorphism(source: Template, target: Template) -> Optional[SymbolMap]:
+    """One homomorphism from ``source`` to ``target``, or ``None``."""
+
+    for mapping in iter_homomorphisms(source, target):
+        return mapping
+    return None
+
+
+def has_homomorphism(source: Template, target: Template) -> bool:
+    """Whether a homomorphism from ``source`` to ``target`` exists."""
+
+    return find_homomorphism(source, target) is not None
+
+
+def template_contained_in(smaller: Template, larger: Template) -> bool:
+    """Whether ``smaller(alpha) <= larger(alpha)`` for every instantiation.
+
+    By Proposition 2.4.1 this holds iff there is a homomorphism from
+    ``larger`` to ``smaller``.
+    """
+
+    if not smaller.target_scheme.issubset(larger.target_scheme):
+        return False
+    return has_homomorphism(larger, smaller)
+
+
+def templates_equivalent(first: Template, second: Template) -> bool:
+    """Whether the two templates realise the same mapping (Corollary 2.4.2)."""
+
+    if first.target_scheme != second.target_scheme:
+        return False
+    if first.relation_names != second.relation_names:
+        return False
+    return has_homomorphism(first, second) and has_homomorphism(second, first)
+
+
+def templates_isomorphic(first: Template, second: Template) -> bool:
+    """Whether the templates are isomorphic (Section 2.4).
+
+    An isomorphism is a bijective homomorphism whose inverse is also a
+    homomorphism; for reduced templates this coincides with equivalence, but
+    the check here performs an explicit search so it is meaningful for
+    arbitrary templates.
+    """
+
+    if len(first) != len(second):
+        return False
+    if first.target_scheme != second.target_scheme:
+        return False
+    for mapping in iter_homomorphisms(first, second):
+        values = [v for k, v in mapping.items() if not k.is_distinguished]
+        if len(set(values)) != len(values):
+            continue
+        image = apply_symbol_map(first, mapping)
+        if image != second:
+            continue
+        inverse = {v: k for k, v in mapping.items()}
+        if apply_symbol_map(second, inverse) == first:
+            return True
+    return False
+
+
+def iter_foldings(source: Template, target: Template) -> Iterator[SymbolMap]:
+    """Yield *foldings* of ``source`` into ``target``.
+
+    A folding maps every row of ``source`` onto a row of ``target`` with the
+    same tag but is free to send distinguished symbols anywhere.  Foldings
+    enumerate the ways a view's defining template can be matched inside a
+    goal query and drive candidate generation in the optimised capacity
+    membership test.
+    """
+
+    for mapping in _iter_maps(source, target, preserve_distinguished=False):
+        yield dict(mapping)
+
+
+def apply_symbol_map(template: Template, mapping: SymbolMap) -> Template:
+    """The template obtained by rewriting every symbol through ``mapping``."""
+
+    return template.replace_symbols(mapping)

@@ -1,0 +1,68 @@
+"""Template reduction / minimisation (paper Proposition 2.4.4).
+
+A template is *reduced* when no template with fewer tagged tuples realises
+the same mapping.  Proposition 2.4.4 (from Aho–Sagiv–Ullman) states that
+every template contains an equivalent reduced sub-template and that it can be
+computed effectively.  The computation below is the classical greedy core
+computation: repeatedly drop a row whenever the remaining rows still admit a
+homomorphism from the current template.
+
+Two useful companions are provided:
+
+* :func:`is_reduced` — whether no row can be dropped;
+* :func:`reduce_template` — an equivalent reduced sub-template (the "core").
+  Reduced templates realising the same mapping are unique up to isomorphism,
+  which the test-suite verifies property-style.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.templates.homomorphism import has_homomorphism
+from repro.templates.tagged_tuple import TaggedTuple
+from repro.templates.template import Template
+
+__all__ = ["reduce_template", "is_reduced"]
+
+
+def _droppable(template: Template, row: TaggedTuple) -> Optional[Template]:
+    """The template without ``row`` when dropping it preserves the mapping."""
+
+    remaining_rows = template.rows - {row}
+    if not remaining_rows:
+        return None
+    if not any(r.distinguished_attributes() for r in remaining_rows):
+        return None
+    candidate = Template(remaining_rows)
+    if candidate.target_scheme != template.target_scheme:
+        return None
+    if candidate.relation_names != template.relation_names:
+        return None
+    # candidate <= template always holds (identity homomorphism); dropping is
+    # sound iff template also maps homomorphically into the candidate.
+    if has_homomorphism(template, candidate):
+        return candidate
+    return None
+
+
+def reduce_template(template: Template) -> Template:
+    """An equivalent reduced sub-template of ``template`` (Proposition 2.4.4)."""
+
+    current = template
+    changed = True
+    while changed:
+        changed = False
+        for row in current.sorted_rows():
+            candidate = _droppable(current, row)
+            if candidate is not None:
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def is_reduced(template: Template) -> bool:
+    """Whether no row of ``template`` can be dropped without changing the mapping."""
+
+    return all(_droppable(template, row) is None for row in template.rows)

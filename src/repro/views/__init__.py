@@ -1,0 +1,103 @@
+"""Views, query capacity, equivalence, redundancy and the simplified normal form.
+
+This package implements the paper's primary contribution: views and induced
+instantiations (Section 1.3), surrogate queries (Theorem 1.4.2), query
+capacity and its closed-query-set characterisation (Sections 1.4–1.5),
+constructions and the decidability of capacity membership and view
+equivalence (Sections 2.3–2.4), redundancy analysis including essential
+tagged tuples (Section 3), and the simplified normal form (Section 4).
+"""
+
+from repro.views.capacity import QueryCapacity
+from repro.views.closure import (
+    Construction,
+    SearchLimits,
+    as_template,
+    closure_contains,
+    find_construction,
+    iter_constructions,
+    named_generators,
+)
+from repro.views.equivalence import (
+    DominanceWitness,
+    EquivalenceReport,
+    dominates,
+    equivalence_report,
+    views_equivalent,
+)
+from repro.views.essential import (
+    ExhibitedConstruction,
+    essential_connected_components,
+    essential_tagged_tuples,
+    is_essential,
+    is_self_descendent,
+    iter_exhibited_constructions,
+    lineage,
+    nonredundant_by_essential_components,
+)
+from repro.views.redundancy import (
+    RedundancyReport,
+    is_nonredundant_query_set,
+    is_nonredundant_view,
+    is_redundant_member,
+    nonredundant_query_set,
+    nonredundant_size_bound,
+    redundancy_report,
+    remove_redundancy,
+)
+from repro.views.simplify import (
+    is_simple_member,
+    is_simplified_query_set,
+    is_simplified_view,
+    projection_of_original,
+    proper_projection_queries,
+    simplified_views_match,
+    simplify_query_set,
+    simplify_view,
+)
+from repro.views.surrogate import answer_view_query, surrogate_query
+from repro.views.view import View, ViewDefinition
+
+__all__ = [
+    "QueryCapacity",
+    "Construction",
+    "SearchLimits",
+    "as_template",
+    "closure_contains",
+    "find_construction",
+    "iter_constructions",
+    "named_generators",
+    "DominanceWitness",
+    "EquivalenceReport",
+    "dominates",
+    "equivalence_report",
+    "views_equivalent",
+    "ExhibitedConstruction",
+    "essential_connected_components",
+    "essential_tagged_tuples",
+    "is_essential",
+    "is_self_descendent",
+    "iter_exhibited_constructions",
+    "lineage",
+    "nonredundant_by_essential_components",
+    "RedundancyReport",
+    "is_nonredundant_query_set",
+    "is_nonredundant_view",
+    "is_redundant_member",
+    "nonredundant_query_set",
+    "nonredundant_size_bound",
+    "redundancy_report",
+    "remove_redundancy",
+    "is_simple_member",
+    "is_simplified_query_set",
+    "is_simplified_view",
+    "projection_of_original",
+    "proper_projection_queries",
+    "simplified_views_match",
+    "simplify_query_set",
+    "simplify_view",
+    "answer_view_query",
+    "surrogate_query",
+    "View",
+    "ViewDefinition",
+]

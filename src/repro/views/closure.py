@@ -1,0 +1,313 @@
+"""Closed query sets, constructions and the closure-membership decision.
+
+Section 1.5 characterises the query capacity of a view as the *closure* of
+its defining queries under projection and join; Section 2.3 characterises
+that closure constructively: a query ``Q`` belongs to the closure of a query
+set ``F`` exactly when there is a *construction* of ``Q`` from ``F`` — a
+template substitution ``T -> beta`` with ``T`` an expression template over
+(fresh) relation names and ``beta`` assigning those names queries of ``F``
+(Theorem 2.3.2).  Lemma 2.4.8 bounds the outer template: if a construction
+exists, one with at most ``#rows(Q)`` tagged tuples exists, which is what
+makes membership decidable (Lemma 2.4.10 / Theorem 2.4.11).
+
+This module implements an *optimised* membership decision.  Instead of
+enumerating all bounded templates over a fixed symbol pool (the paper's
+``J_k`` — kept verbatim in :mod:`repro.baselines.naive_capacity`), candidate
+tagged tuples for the outer template are derived from *foldings* of the
+generator templates into the (reduced) goal query: every way a generator can
+be matched inside the goal contributes one candidate row whose symbols are
+symbols of the goal.  The search then looks for a subset of candidate rows
+that
+
+* covers the goal's target relation scheme with distinguished symbols,
+* substitutes to a template equivalent to the goal (only the
+  goal-to-substitution homomorphism needs to be searched — the converse
+  direction holds by construction of the candidates), and
+* forms an expression template (Theorem 2.3.2 requires the outer template to
+  realise a project-join expression).
+
+The candidate restriction mirrors the classical "canonical database" argument
+for rewriting conjunctive queries with views; DESIGN.md discusses the one
+corner where it is potentially incomplete, and the test-suite cross-checks
+against the paper-faithful baseline on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple, Union
+
+from repro.exceptions import CapacityError, NotAnExpressionTemplateError
+from repro.relalg.ast import Expression
+from repro.relational.schema import RelationName
+from repro.templates.from_expression import template_from_expression
+from repro.templates.homomorphism import has_homomorphism, iter_foldings, templates_equivalent
+from repro.templates.reduction import reduce_template
+from repro.templates.substitution import SubstitutionResult, TemplateAssignment, substitute
+from repro.templates.tagged_tuple import TaggedTuple
+from repro.templates.template import Template
+from repro.templates.to_expression import expression_from_template
+from repro.relational.attributes import Attribute
+
+__all__ = [
+    "Construction",
+    "SearchLimits",
+    "named_generators",
+    "find_construction",
+    "iter_constructions",
+    "closure_contains",
+    "as_template",
+]
+
+
+def as_template(query: Union[Expression, Template]) -> Template:
+    """Coerce a query given as an expression or template into a template."""
+
+    if isinstance(query, Template):
+        return query
+    if isinstance(query, Expression):
+        return template_from_expression(query)
+    raise CapacityError(f"expected an Expression or Template, got {query!r}")
+
+
+def named_generators(
+    templates: Sequence[Union[Expression, Template]], prefix: str = "G"
+) -> Dict[RelationName, Template]:
+    """Attach fresh relation names to anonymous generator queries.
+
+    Constructions substitute generators for relation names; query sets that
+    do not come from a view have no such names, so fresh ones typed by each
+    generator's target relation scheme are minted here.
+    """
+
+    generators: Dict[RelationName, Template] = {}
+    for index, query in enumerate(templates):
+        template = as_template(query)
+        name = RelationName(f"{prefix}{index}", template.target_scheme)
+        generators[name] = template
+    return generators
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Budget knobs for the optimised construction search.
+
+    ``max_rows``        — outer-template size cap (defaults to ``#rows(goal)``,
+                          the Lemma 2.4.8 bound).
+    ``max_candidates``  — cap on candidate rows taken from foldings.
+    ``max_subsets``     — cap on candidate subsets examined.  The default keeps
+                          individual membership decisions interactive; raise it
+                          for exhaustive runs on large hand-written views.
+    """
+
+    max_rows: Optional[int] = None
+    max_candidates: int = 48
+    max_subsets: int = 20_000
+
+
+@dataclass(frozen=True)
+class Construction:
+    """A construction ``T -> beta`` of a goal query from a query set.
+
+    ``outer_template`` is ``T`` (an expression template over generator
+    names), ``assignment`` is ``beta``, ``substituted`` is the template
+    ``T -> beta`` and ``rewriting`` is a project-join expression over the
+    generator names realising ``T`` (the "rewriting of the goal using the
+    views").
+    """
+
+    outer_template: Template
+    assignment: TemplateAssignment
+    substituted: Template
+    rewriting: Optional[Expression]
+
+    def verify(self, goal: Union[Expression, Template]) -> bool:
+        """Re-check that the construction realises ``goal``."""
+
+        return templates_equivalent(self.substituted, as_template(goal))
+
+
+def _candidate_rows(
+    generators: Mapping[RelationName, Template], goal: Template, limit: int
+) -> List[TaggedTuple]:
+    """Candidate outer-template rows: one per folding of a generator into the goal."""
+
+    candidates: List[TaggedTuple] = []
+    seen = set()
+    for name in sorted(generators, key=lambda n: n.name):
+        template = reduce_template(generators[name])
+        if not template.relation_names <= goal.relation_names:
+            # A folding maps rows tag-preservingly, so a generator mentioning a
+            # relation name absent from the goal can never fold into it.
+            continue
+        for folding in iter_foldings(template, goal):
+            values = {
+                attr: folding[_distinguished(template, attr)]
+                for attr in name.type.attributes
+            }
+            row = TaggedTuple(values, name)
+            if row not in seen:
+                seen.add(row)
+                candidates.append(row)
+            if len(candidates) >= limit:
+                break
+        if len(candidates) >= limit:
+            break
+    # Rows that retain more of the goal's distinguished symbols are the ones a
+    # rewriting is most likely to need; trying them first lets the subset
+    # search find positive constructions early.
+    candidates.sort(
+        key=lambda row: (-len(row.distinguished_attributes()), row.name.name, str(row))
+    )
+    return candidates
+
+
+def _distinguished(template: Template, attribute: Attribute):
+    from repro.relational.attributes import DistinguishedSymbol
+
+    return DistinguishedSymbol(attribute)
+
+
+def _covers_target(rows: Iterable[TaggedTuple], goal: Template) -> bool:
+    covered = set()
+    for row in rows:
+        covered.update(row.distinguished_attributes())
+    return covered >= set(goal.target_scheme.attributes)
+
+
+def _try_subset(
+    rows: PyTuple[TaggedTuple, ...],
+    assignment: TemplateAssignment,
+    goal: Template,
+    require_expression: bool,
+) -> Optional[Construction]:
+    """Check one candidate subset; return a construction when it realises the goal."""
+
+    if not _covers_target(rows, goal):
+        return None
+    outer = Template(rows)
+    substitution = substitute(outer, assignment)
+    substituted = substitution.template
+    if substituted.target_scheme != goal.target_scheme:
+        return None
+    if substituted.relation_names != goal.relation_names:
+        return None
+    # Soundness of the rewriting: the goal must fold homomorphically into the
+    # substituted template.  The converse containment holds by construction of
+    # the candidate rows (every block folds back into the goal).
+    if not has_homomorphism(goal, substituted):
+        return None
+    rewriting: Optional[Expression] = None
+    if require_expression:
+        try:
+            rewriting = expression_from_template(outer)
+        except NotAnExpressionTemplateError:
+            return None
+    return Construction(
+        outer_template=outer,
+        assignment=assignment,
+        substituted=substituted,
+        rewriting=rewriting,
+    )
+
+
+def find_construction(
+    generators: Mapping[RelationName, Template],
+    goal: Union[Expression, Template],
+    limits: SearchLimits = SearchLimits(),
+    require_expression: bool = True,
+) -> Optional[Construction]:
+    """Search for a construction of ``goal`` from the named ``generators``.
+
+    Returns ``None`` when no construction within the search limits exists.
+    With ``require_expression=False`` the outer template is allowed to be an
+    arbitrary template (useful for diagnostics); the paper's notion of
+    construction requires an expression template, which is the default.
+    """
+
+    goal_template = reduce_template(as_template(goal))
+    candidates = _candidate_rows(generators, goal_template, limits.max_candidates)
+    if not candidates:
+        return None
+
+    assignment = TemplateAssignment(
+        {name: template for name, template in generators.items()}
+    )
+
+    # Early negative exit: soundness is monotone in the candidate set, so if
+    # even the full candidate set is unsound no subset can succeed.
+    if _covers_target(candidates, goal_template):
+        full = substitute(Template(candidates), assignment).template
+        if not has_homomorphism(goal_template, full):
+            return None
+    else:
+        return None
+
+    max_rows = limits.max_rows if limits.max_rows is not None else len(goal_template)
+    max_rows = max(1, min(max_rows, len(candidates)))
+
+    examined = 0
+    for size in range(1, max_rows + 1):
+        for combination in itertools.combinations(candidates, size):
+            examined += 1
+            if examined > limits.max_subsets:
+                return None
+            construction = _try_subset(
+                combination, assignment, goal_template, require_expression
+            )
+            if construction is not None:
+                return construction
+    return None
+
+
+def iter_constructions(
+    generators: Mapping[RelationName, Template],
+    goal: Union[Expression, Template],
+    limits: SearchLimits = SearchLimits(),
+    require_expression: bool = True,
+):
+    """Yield constructions of ``goal`` from the generators within the limits.
+
+    Unlike :func:`find_construction` this does not stop at the first witness;
+    it is used by the essential-tagged-tuple analysis (Section 3.2), which
+    quantifies over *every* exhibited construction of a defining query.
+    """
+
+    goal_template = reduce_template(as_template(goal))
+    candidates = _candidate_rows(generators, goal_template, limits.max_candidates)
+    if not candidates:
+        return
+    assignment = TemplateAssignment(
+        {name: template for name, template in generators.items()}
+    )
+    max_rows = limits.max_rows if limits.max_rows is not None else len(goal_template)
+    max_rows = max(1, min(max_rows, len(candidates)))
+    examined = 0
+    for size in range(1, max_rows + 1):
+        for combination in itertools.combinations(candidates, size):
+            examined += 1
+            if examined > limits.max_subsets:
+                return
+            construction = _try_subset(
+                combination, assignment, goal_template, require_expression
+            )
+            if construction is not None:
+                yield construction
+
+
+def closure_contains(
+    generators: Union[Mapping[RelationName, Template], Sequence[Union[Expression, Template]]],
+    goal: Union[Expression, Template],
+    limits: SearchLimits = SearchLimits(),
+) -> bool:
+    """Whether ``goal`` lies in the closure of the generator query set.
+
+    ``generators`` may be given as a name-keyed mapping (as obtained from a
+    view) or as a plain sequence of queries, in which case fresh names are
+    minted with :func:`named_generators`.
+    """
+
+    if not isinstance(generators, Mapping):
+        generators = named_generators(list(generators))
+    return find_construction(generators, goal, limits) is not None

@@ -1,0 +1,53 @@
+"""Surrogate queries for view queries (paper Theorem 1.4.2).
+
+Every query ``E`` of a view ``V`` has a unique query ``E-hat`` of the
+underlying database schema such that ``E-hat(alpha) = E(alpha_V)`` for every
+instantiation ``alpha``: simply expand every view name occurring in ``E`` by
+its defining query (Lemma 1.4.1).  The surrogate is what the view's query
+capacity collects.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ViewError
+from repro.relalg.ast import Expression
+from repro.relalg.evaluate import evaluate
+from repro.relalg.expand import expand_expression
+from repro.relational.instance import Instantiation
+from repro.relational.tuples import Relation
+from repro.views.view import View
+
+__all__ = ["surrogate_query", "answer_view_query"]
+
+
+def surrogate_query(view: View, view_query: Expression) -> Expression:
+    """The surrogate ``E-hat`` of ``view_query`` against ``view`` (Theorem 1.4.2).
+
+    ``view_query`` must be a query of the view schema, i.e. reference only
+    view relation names.
+    """
+
+    foreign = view_query.relation_names - view.view_schema.relation_names
+    if foreign:
+        raise ViewError(
+            f"the query references names outside the view schema: "
+            f"{sorted(str(n) for n in foreign)}"
+        )
+    replacements = {
+        definition.name: definition.query for definition in view.definitions
+    }
+    return expand_expression(view_query, replacements, require_total=True)
+
+
+def answer_view_query(
+    view: View, view_query: Expression, instantiation: Instantiation
+) -> Relation:
+    """Evaluate a view query on the induced instantiation ``alpha_V``.
+
+    By Theorem 1.4.2 the result always equals the surrogate query evaluated
+    directly on ``alpha``; the test-suite and benchmark E1 verify exactly
+    that identity.
+    """
+
+    induced = view.induced_instantiation(instantiation)
+    return evaluate(view_query, induced)

@@ -1,0 +1,43 @@
+"""Synthetic workloads and named scenarios used by tests, examples and benchmarks."""
+
+from repro.workloads.scenarios import (
+    Example222,
+    Example315,
+    Example321,
+    Section41Example,
+    company_scenario,
+    example_2_2_2,
+    example_3_1_5,
+    example_3_2_1,
+    section_4_1_example,
+    university_scenario,
+)
+from repro.workloads.synthetic import (
+    SchemaSpec,
+    equivalent_view_pair,
+    perturbed_view,
+    random_expression,
+    random_schema,
+    random_view,
+    redundant_view,
+)
+
+__all__ = [
+    "Example222",
+    "Example315",
+    "Example321",
+    "Section41Example",
+    "company_scenario",
+    "example_2_2_2",
+    "example_3_1_5",
+    "example_3_2_1",
+    "section_4_1_example",
+    "university_scenario",
+    "SchemaSpec",
+    "equivalent_view_pair",
+    "perturbed_view",
+    "random_expression",
+    "random_schema",
+    "random_view",
+    "redundant_view",
+]

@@ -1,0 +1,80 @@
+"""Shared fixtures: schemas, instances and views used across the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import DatabaseSchema, Instantiation, RelationName
+from repro.relalg import parse_expression
+from repro.views import View
+
+
+@pytest.fixture
+def rs_schema() -> DatabaseSchema:
+    """The two-relation schema R(A,B), S(B,C) used by most expression tests."""
+
+    return DatabaseSchema([RelationName("R", "AB"), RelationName("S", "BC")])
+
+
+@pytest.fixture
+def triangle_schema() -> DatabaseSchema:
+    """Three relations forming a triangle of shared attributes."""
+
+    return DatabaseSchema(
+        [RelationName("R", "AB"), RelationName("S", "BC"), RelationName("T", "AC")]
+    )
+
+
+@pytest.fixture
+def q_schema() -> DatabaseSchema:
+    """The single ternary relation q(A,B,C) of Example 3.1.5."""
+
+    return DatabaseSchema([RelationName("q", "ABC")])
+
+
+@pytest.fixture
+def rs_instance(rs_schema: DatabaseSchema) -> Instantiation:
+    """A small instance of the R/S schema with one joining pair."""
+
+    return Instantiation.from_rows(
+        rs_schema,
+        {
+            "R": [{"A": 1, "B": 2}, {"A": 3, "B": 4}, {"A": 5, "B": 2}],
+            "S": [{"B": 2, "C": 10}, {"B": 7, "C": 11}],
+        },
+    )
+
+
+@pytest.fixture
+def q_instance(q_schema: DatabaseSchema) -> Instantiation:
+    """A small instance of the single-relation schema q(A,B,C)."""
+
+    return Instantiation.from_rows(
+        q_schema,
+        {
+            "q": [
+                {"A": 1, "B": 2, "C": 3},
+                {"A": 1, "B": 2, "C": 4},
+                {"A": 5, "B": 6, "C": 7},
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def split_view(q_schema: DatabaseSchema) -> View:
+    """The two-projection view W of Example 3.1.5."""
+
+    s1 = parse_expression("pi{A,B}(q)", q_schema)
+    s2 = parse_expression("pi{B,C}(q)", q_schema)
+    return View(
+        [(s1, RelationName("W1", "AB")), (s2, RelationName("W2", "BC"))], q_schema
+    )
+
+
+@pytest.fixture
+def joined_view(q_schema: DatabaseSchema) -> View:
+    """The single-join view V of Example 3.1.5."""
+
+    s = parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema)
+    return View([(s, RelationName("V1", "ABC"))], q_schema)

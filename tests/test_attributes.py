@@ -1,0 +1,108 @@
+"""Unit tests for attributes, domains and symbols (repro.relational.attributes)."""
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.relational.attributes import (
+    Attribute,
+    Constant,
+    DistinguishedSymbol,
+    MarkedSymbol,
+    attributes,
+    constant,
+    distinguished,
+)
+
+
+class TestAttribute:
+    def test_equality_by_name(self):
+        assert Attribute("A") == Attribute("A")
+        assert Attribute("A") != Attribute("B")
+
+    def test_ordering_by_name(self):
+        assert Attribute("A") < Attribute("B")
+        assert sorted([Attribute("C"), Attribute("A")])[0] == Attribute("A")
+
+    def test_hashable(self):
+        assert len({Attribute("A"), Attribute("A"), Attribute("B")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DomainError):
+            Attribute("")
+
+    def test_attributes_helper(self):
+        created = attributes("ABC")
+        assert [a.name for a in created] == ["A", "B", "C"]
+
+
+class TestDistinguishedSymbol:
+    def test_one_per_attribute(self):
+        assert DistinguishedSymbol(Attribute("A")) == DistinguishedSymbol(Attribute("A"))
+        assert distinguished(Attribute("A")) == DistinguishedSymbol(Attribute("A"))
+
+    def test_distinct_across_attributes(self):
+        assert DistinguishedSymbol(Attribute("A")) != DistinguishedSymbol(Attribute("B"))
+
+    def test_is_distinguished_flag(self):
+        assert DistinguishedSymbol(Attribute("A")).is_distinguished
+        assert not Constant(Attribute("A"), 1).is_distinguished
+
+    def test_not_equal_to_constant(self):
+        assert DistinguishedSymbol(Attribute("A")) != Constant(Attribute("A"), 0)
+
+    def test_string_rendering(self):
+        assert str(DistinguishedSymbol(Attribute("A"))) == "0_A"
+
+
+class TestConstant:
+    def test_equality_by_attribute_and_value(self):
+        assert Constant(Attribute("A"), 1) == Constant(Attribute("A"), 1)
+        assert Constant(Attribute("A"), 1) != Constant(Attribute("A"), 2)
+
+    def test_domains_are_disjoint(self):
+        # The same payload in a different attribute is a different symbol.
+        assert Constant(Attribute("A"), 1) != Constant(Attribute("B"), 1)
+
+    def test_constant_helper(self):
+        assert constant(Attribute("A"), "x") == Constant(Attribute("A"), "x")
+
+    def test_hashable_payloads_required(self):
+        with pytest.raises(DomainError):
+            Constant(Attribute("A"), [1, 2])
+
+    def test_immutability(self):
+        symbol = Constant(Attribute("A"), 1)
+        with pytest.raises(AttributeError):
+            symbol.value = 2  # type: ignore[misc]
+
+
+class TestMarkedSymbol:
+    def test_marking_is_injective_in_key_and_base(self):
+        attr = Attribute("A")
+        base = Constant(attr, 1)
+        assert MarkedSymbol(attr, "tau1", base) == MarkedSymbol(attr, "tau1", base)
+        assert MarkedSymbol(attr, "tau1", base) != MarkedSymbol(attr, "tau2", base)
+        assert MarkedSymbol(attr, "tau1", base) != MarkedSymbol(
+            attr, "tau1", Constant(attr, 2)
+        )
+
+    def test_marked_symbols_are_nondistinguished(self):
+        attr = Attribute("A")
+        marked = MarkedSymbol(attr, "tau", Constant(attr, 1))
+        assert not marked.is_distinguished
+
+    def test_marked_symbol_attribute_must_match_base(self):
+        with pytest.raises(DomainError):
+            MarkedSymbol(Attribute("A"), "tau", Constant(Attribute("B"), 1))
+
+    def test_marked_symbol_differs_from_its_base(self):
+        attr = Attribute("A")
+        base = Constant(attr, 1)
+        assert MarkedSymbol(attr, "tau", base) != base
+
+    def test_nested_marking_allowed(self):
+        attr = Attribute("A")
+        inner = MarkedSymbol(attr, "tau1", Constant(attr, 1))
+        outer = MarkedSymbol(attr, "tau2", inner)
+        assert outer.base == inner
+        assert outer != inner

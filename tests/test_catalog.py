@@ -1,0 +1,89 @@
+"""Tests for the textual catalogue format."""
+
+import pytest
+
+from repro.catalog import Catalog, parse_catalog, serialize_catalog
+from repro.exceptions import CatalogError
+from repro.relational import RelationScheme
+
+DOCUMENT = """
+# registrar catalogue
+schema {
+  Enrolled(S, C)
+  Teaches(P, C)
+}
+
+view Advisers {
+  StudentProf(S, P) := pi{S,P}(Enrolled & Teaches)
+  Courses(C) := pi{C}(Enrolled)
+}
+
+view Minimal {
+  OnlyCourses(C) := pi{C}(Teaches)
+}
+"""
+
+
+class TestParse:
+    def test_schema_parsed(self):
+        catalog = parse_catalog(DOCUMENT)
+        assert len(catalog.schema) == 2
+        assert catalog.schema["Enrolled"].type == RelationScheme(["S", "C"])
+
+    def test_views_parsed(self):
+        catalog = parse_catalog(DOCUMENT)
+        assert set(catalog.views) == {"Advisers", "Minimal"}
+        advisers = catalog.view("Advisers")
+        assert len(advisers) == 2
+        assert advisers.definition_for("StudentProf").query.target_scheme == RelationScheme("SP")
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert parse_catalog(DOCUMENT)  # the leading comment must not break parsing
+
+    def test_unknown_view_lookup_raises(self):
+        with pytest.raises(CatalogError):
+            parse_catalog(DOCUMENT).view("missing")
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            parse_catalog("view V {\n  X(A) := pi{A}(R)\n}")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(CatalogError):
+            parse_catalog("schema {\n  R(A, B)\n")
+
+    def test_bad_relation_line_rejected(self):
+        with pytest.raises(CatalogError):
+            parse_catalog("schema {\n  R A B\n}")
+
+    def test_bad_view_line_rejected(self):
+        with pytest.raises(CatalogError):
+            parse_catalog("schema {\n  R(A, B)\n}\nview V {\n  X(A) = pi{A}(R)\n}")
+
+    def test_view_block_needs_name(self):
+        with pytest.raises(CatalogError):
+            parse_catalog("schema {\n  R(A, B)\n}\nview {\n  X(A) := pi{A}(R)\n}")
+
+    def test_duplicate_view_names_rejected(self):
+        text = (
+            "schema {\n  R(A, B)\n}\n"
+            "view V {\n  X(A) := pi{A}(R)\n}\n"
+            "view V {\n  Y(B) := pi{B}(R)\n}"
+        )
+        with pytest.raises(CatalogError):
+            parse_catalog(text)
+
+
+class TestSerialise:
+    def test_round_trip(self):
+        catalog = parse_catalog(DOCUMENT)
+        text = serialize_catalog(catalog)
+        reparsed = parse_catalog(text)
+        assert reparsed.schema == catalog.schema
+        assert set(reparsed.views) == set(catalog.views)
+        for name, view in catalog.views.items():
+            assert reparsed.views[name].defining_queries == view.defining_queries
+
+    def test_serialised_text_is_stable(self):
+        catalog = parse_catalog(DOCUMENT)
+        assert serialize_catalog(catalog) == serialize_catalog(parse_catalog(serialize_catalog(catalog)))

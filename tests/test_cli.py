@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CATALOGUE = """
+schema {
+  q(A, B, C)
+}
+
+view Split {
+  W1(A, B) := pi{A,B}(q)
+  W2(B, C) := pi{B,C}(q)
+}
+
+view Joined {
+  VJ(A, B, C) := pi{A,B}(q) & pi{B,C}(q)
+}
+
+view Weak {
+  PA(A) := pi{A}(q)
+}
+"""
+
+
+@pytest.fixture
+def catalogue_file(tmp_path):
+    path = tmp_path / "catalogue.txt"
+    path.write_text(CATALOGUE)
+    return str(path)
+
+
+def run_cli(args):
+    out = io.StringIO()
+    status = main(args, out=out)
+    return status, out.getvalue()
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["analyze", "file.txt"])
+        assert args.command == "analyze"
+
+    def test_missing_subcommand_is_usage_error(self):
+        status, _ = run_cli([])
+        assert status == 2
+
+
+class TestAnalyze:
+    def test_analyze_all_views(self, catalogue_file):
+        status, output = run_cli(["analyze", catalogue_file])
+        assert status == 0
+        assert "view Split" in output and "view Joined" in output
+
+    def test_analyze_single_view(self, catalogue_file):
+        status, output = run_cli(["analyze", catalogue_file, "--view", "Split"])
+        assert status == 0
+        assert "view Split" in output
+        assert "view Joined" not in output
+
+    def test_missing_file_is_input_error(self):
+        status, output = run_cli(["analyze", "/nonexistent/catalogue.txt"])
+        assert status == 2
+        assert "error" in output
+
+    def test_unknown_view_is_input_error(self, catalogue_file):
+        status, output = run_cli(["analyze", catalogue_file, "--view", "Nope"])
+        assert status == 2
+        assert "error" in output
+
+
+class TestMember:
+    def test_positive_membership(self, catalogue_file):
+        status, output = run_cli(["member", catalogue_file, "Split", "pi{A}(q)"])
+        assert status == 0
+        assert "YES" in output
+        assert "rewriting" in output
+
+    def test_negative_membership(self, catalogue_file):
+        status, output = run_cli(["member", catalogue_file, "Split", "q"])
+        assert status == 1
+        assert "NO" in output
+
+    def test_bad_query_is_input_error(self, catalogue_file):
+        status, output = run_cli(["member", catalogue_file, "Split", "pi{A}(unknown)"])
+        assert status == 2
+        assert "error" in output
+
+
+class TestEquivalent:
+    def test_equivalent_views(self, catalogue_file):
+        status, output = run_cli(["equivalent", catalogue_file, "Split", "Joined"])
+        assert status == 0
+        assert "EQUIVALENT" in output
+
+    def test_non_equivalent_views(self, catalogue_file):
+        status, output = run_cli(["equivalent", catalogue_file, "Split", "Weak"])
+        assert status == 1
+        assert "NOT EQUIVALENT" in output
+
+
+class TestSimplify:
+    def test_simplify_emits_parseable_catalogue(self, catalogue_file):
+        from repro.catalog import parse_catalog
+
+        status, output = run_cli(["simplify", catalogue_file])
+        assert status == 0
+        normalised = parse_catalog(output)
+        assert set(normalised.views) == {"Split", "Joined", "Weak"}
+        # The joined view decomposes into two members in normal form.
+        assert len(normalised.view("Joined")) == 2

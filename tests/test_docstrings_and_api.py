@@ -1,0 +1,73 @@
+"""API-surface tests: public exports exist, are documented and importable.
+
+These tests pin the public API: everything advertised in ``__all__`` must be
+importable and carry a docstring, so downstream users can rely on
+``help(repro)`` and on the names documented in the README.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.relational",
+    "repro.relalg",
+    "repro.templates",
+    "repro.views",
+    "repro.core",
+    "repro.workloads",
+    "repro.catalog",
+    "repro.baselines",
+    "repro.cli",
+    "repro.exceptions",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_importable_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} needs a module docstring"
+
+    @pytest.mark.parametrize("module_name", [m for m in PUBLIC_MODULES if m != "repro.exceptions"])
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_top_level_exports_are_documented(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            member = getattr(repro, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert member.__doc__, f"repro.{name} needs a docstring"
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_public_classes_expose_documented_methods(self):
+        from repro import View, ViewAnalyzer, QueryCapacity
+
+        for cls in (View, ViewAnalyzer, QueryCapacity):
+            public_methods = [
+                member
+                for name, member in inspect.getmembers(cls, inspect.isfunction)
+                if not name.startswith("_")
+            ]
+            assert public_methods, f"{cls.__name__} should expose public methods"
+            for method in public_methods:
+                assert method.__doc__, f"{cls.__name__}.{method.__name__} needs a docstring"
+
+    def test_exception_classes_documented(self):
+        from repro import exceptions
+
+        for name in exceptions.__all__ if hasattr(exceptions, "__all__") else dir(exceptions):
+            member = getattr(exceptions, name)
+            if inspect.isclass(member) and issubclass(member, Exception):
+                assert member.__doc__, f"exceptions.{name} needs a docstring"

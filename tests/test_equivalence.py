@@ -1,0 +1,92 @@
+"""Tests for view dominance and equivalence (Theorems 1.5.5 and 2.4.12)."""
+
+import pytest
+
+from repro.exceptions import CapacityError
+from repro.relalg import parse_expression
+from repro.relational import RelationName
+from repro.views import View, dominates, equivalence_report, views_equivalent
+
+
+@pytest.fixture
+def projection_view(q_schema):
+    """A strictly weaker view exposing only single attributes of q."""
+
+    return View(
+        [
+            (parse_expression("pi{A}(q)", q_schema), RelationName("PA", "A")),
+            (parse_expression("pi{B}(q)", q_schema), RelationName("PB", "B")),
+        ],
+        q_schema,
+    )
+
+
+class TestDominance:
+    def test_example_3_1_5_mutual_dominance(self, joined_view, split_view):
+        assert dominates(joined_view, split_view).holds
+        assert dominates(split_view, joined_view).holds
+
+    def test_dominance_witnesses_cover_all_members(self, joined_view, split_view):
+        witness = dominates(joined_view, split_view)
+        assert set(witness.constructions) == set(split_view.view_names)
+        assert witness.missing == ()
+
+    def test_strictly_weaker_view_is_dominated(self, split_view, projection_view):
+        assert dominates(split_view, projection_view).holds
+        backward = dominates(projection_view, split_view)
+        assert not backward.holds
+        assert len(backward.missing) >= 1
+
+    def test_dominance_requires_same_underlying_schema(self, split_view, rs_schema):
+        other = View(
+            [(parse_expression("R", rs_schema), RelationName("VR", "AB"))], rs_schema
+        )
+        with pytest.raises(CapacityError):
+            dominates(split_view, other)
+
+    def test_every_view_dominates_itself(self, split_view):
+        assert dominates(split_view, split_view).holds
+
+
+class TestEquivalence:
+    def test_example_3_1_5_views_equivalent(self, joined_view, split_view):
+        assert views_equivalent(joined_view, split_view)
+
+    def test_equivalence_is_symmetric(self, joined_view, split_view):
+        assert views_equivalent(split_view, joined_view)
+
+    def test_renaming_preserves_equivalence(self, split_view):
+        renamed = split_view.renamed({"W1": "Z1", "W2": "Z2"})
+        assert views_equivalent(split_view, renamed)
+
+    def test_weaker_view_not_equivalent(self, split_view, projection_view):
+        assert not views_equivalent(split_view, projection_view)
+
+    def test_adding_redundant_member_preserves_equivalence(self, split_view, q_schema):
+        padded = View(
+            list(split_view.definitions)
+            + [
+                (
+                    parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema),
+                    RelationName("XJ", "ABC"),
+                )
+            ],
+            q_schema,
+        )
+        assert views_equivalent(split_view, padded)
+
+    def test_dropping_a_needed_member_breaks_equivalence(self, split_view, q_schema):
+        smaller = View([split_view.definitions[0]], q_schema)
+        assert not views_equivalent(split_view, smaller)
+
+    def test_equivalence_report_carries_both_directions(self, joined_view, split_view):
+        report = equivalence_report(joined_view, split_view)
+        assert report.equivalent
+        assert report.first_dominates_second.holds
+        assert report.second_dominates_first.holds
+
+    def test_equivalence_report_for_non_equivalent_views(self, split_view, projection_view):
+        report = equivalence_report(split_view, projection_view)
+        assert not report.equivalent
+        assert report.first_dominates_second.holds
+        assert not report.second_dominates_first.holds

@@ -1,0 +1,98 @@
+"""Unit tests for the expression DSL parser and printer."""
+
+import pytest
+
+from repro.exceptions import ExpressionParseError
+from repro.relalg.ast import Join, Projection, RelationRef
+from repro.relalg.parser import parse_expression
+from repro.relalg.printer import format_expression
+from repro.relational.schema import scheme
+
+
+class TestParser:
+    def test_atom(self, rs_schema):
+        expr = parse_expression("R", rs_schema)
+        assert isinstance(expr, RelationRef)
+        assert expr.name == rs_schema["R"]
+
+    def test_projection(self, rs_schema):
+        expr = parse_expression("pi{A}(R)", rs_schema)
+        assert isinstance(expr, Projection)
+        assert expr.target_scheme == scheme("A")
+
+    def test_multi_attribute_projection(self, rs_schema):
+        expr = parse_expression("pi{A,B}(R)", rs_schema)
+        assert expr.target_scheme == scheme("AB")
+
+    def test_join_with_ampersand(self, rs_schema):
+        expr = parse_expression("R & S", rs_schema)
+        assert isinstance(expr, Join)
+        assert len(expr.operands) == 2
+
+    def test_join_with_bowtie_token(self, rs_schema):
+        assert parse_expression("R |x| S", rs_schema) == parse_expression("R & S", rs_schema)
+
+    def test_chained_join_is_nary(self, rs_schema):
+        expr = parse_expression("R & S & R", rs_schema)
+        assert isinstance(expr, Join)
+        assert len(expr.operands) == 3
+
+    def test_parentheses_grouping(self, rs_schema):
+        expr = parse_expression("(R & S)", rs_schema)
+        assert isinstance(expr, Join)
+
+    def test_nested_expression(self, rs_schema):
+        expr = parse_expression("pi{A,C}(R & pi{B,C}(S))", rs_schema)
+        assert expr.target_scheme == scheme("AC")
+
+    def test_whitespace_insensitive(self, rs_schema):
+        assert parse_expression(" pi { A } ( R ) ", rs_schema) == parse_expression(
+            "pi{A}(R)", rs_schema
+        )
+
+    def test_unknown_relation_rejected(self, rs_schema):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("T", rs_schema)
+
+    def test_unbalanced_parentheses_rejected(self, rs_schema):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("pi{A}(R", rs_schema)
+
+    def test_empty_input_rejected(self, rs_schema):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("   ", rs_schema)
+
+    def test_trailing_garbage_rejected(self, rs_schema):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("R )", rs_schema)
+
+    def test_invalid_character_rejected(self, rs_schema):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("R + S", rs_schema)
+
+    def test_projection_outside_trs_rejected(self, rs_schema):
+        # parser defers to AST validation for scheme errors
+        with pytest.raises(Exception):
+            parse_expression("pi{C}(R)", rs_schema)
+
+
+class TestPrinterRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R",
+            "pi{A}(R)",
+            "(R & S)",
+            "pi{A,C}((R & S))",
+            "pi{A,C}((pi{A,B}(R) & S))",
+            "(R & S & R)",
+        ],
+    )
+    def test_round_trip(self, rs_schema, text):
+        expr = parse_expression(text, rs_schema)
+        reparsed = parse_expression(format_expression(expr), rs_schema)
+        assert reparsed == expr
+
+    def test_printer_output_format(self, rs_schema):
+        expr = parse_expression("pi{A,C}(R & S)", rs_schema)
+        assert format_expression(expr) == "pi{A,C}((R & S))"

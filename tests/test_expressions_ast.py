@@ -1,0 +1,101 @@
+"""Unit tests for the expression AST (repro.relalg.ast)."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.relalg.ast import Join, Projection, RelationRef, join_expression, projection, relation
+from repro.relational.schema import RelationName, scheme
+
+
+@pytest.fixture
+def r():
+    return RelationName("R", "AB")
+
+
+@pytest.fixture
+def s():
+    return RelationName("S", "BC")
+
+
+class TestRelationRef:
+    def test_target_scheme_is_type(self, r):
+        assert RelationRef(r).target_scheme == scheme("AB")
+
+    def test_relation_names(self, r):
+        assert RelationRef(r).relation_names == {r}
+
+    def test_atoms_and_size(self, r):
+        ref = RelationRef(r)
+        assert list(ref.iter_atoms()) == [ref]
+        assert ref.size() == 1
+        assert ref.depth() == 1
+        assert ref.atom_count() == 1
+
+    def test_rejects_non_relation_name(self):
+        with pytest.raises(ExpressionError):
+            RelationRef("R")  # type: ignore[arg-type]
+
+    def test_equality(self, r):
+        assert RelationRef(r) == RelationRef(r)
+        assert relation(r) == RelationRef(r)
+
+
+class TestProjection:
+    def test_target_scheme(self, r):
+        assert Projection(RelationRef(r), "A").target_scheme == scheme("A")
+
+    def test_subset_requirement(self, r):
+        with pytest.raises(ExpressionError):
+            Projection(RelationRef(r), "AC")
+
+    def test_nested_projection_allowed_when_subset(self, r):
+        inner = Projection(RelationRef(r), "AB")
+        assert Projection(inner, "A").target_scheme == scheme("A")
+
+    def test_relation_names_propagate(self, r):
+        assert Projection(RelationRef(r), "A").relation_names == {r}
+
+    def test_builder_methods(self, r):
+        built = relation(r).project("A")
+        assert built == projection(relation(r), "A")
+
+    def test_size_and_depth(self, r):
+        expr = Projection(RelationRef(r), "A")
+        assert expr.size() == 2
+        assert expr.depth() == 2
+
+
+class TestJoin:
+    def test_target_scheme_is_union(self, r, s):
+        expr = Join((RelationRef(r), RelationRef(s)))
+        assert expr.target_scheme == scheme("ABC")
+
+    def test_needs_two_operands(self, r):
+        with pytest.raises(ExpressionError):
+            Join((RelationRef(r),))
+
+    def test_relation_names_union(self, r, s):
+        expr = Join((RelationRef(r), RelationRef(s)))
+        assert expr.relation_names == {r, s}
+
+    def test_atom_occurrences_counts_duplicates(self, r):
+        expr = Join((RelationRef(r), RelationRef(r)))
+        assert expr.atom_occurrences()[r] == 2
+        assert expr.atom_count() == 2
+
+    def test_builder_join(self, r, s):
+        assert relation(r).join(relation(s)) == join_expression(relation(r), relation(s))
+
+    def test_nary_join(self, r, s):
+        t = RelationName("T", "CD")
+        expr = Join((RelationRef(r), RelationRef(s), RelationRef(t)))
+        assert len(expr.operands) == 3
+        assert expr.target_scheme == scheme("ABCD")
+
+    def test_structural_equality_is_order_sensitive(self, r, s):
+        assert Join((RelationRef(r), RelationRef(s))) != Join((RelationRef(s), RelationRef(r)))
+
+    def test_expressions_are_immutable(self, r):
+        expr = RelationRef(r)
+        with pytest.raises(AttributeError):
+            expr.name = None  # type: ignore[misc]

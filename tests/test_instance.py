@@ -1,0 +1,97 @@
+"""Unit tests for instantiations and the random instance generators."""
+
+import random
+
+import pytest
+
+from repro.exceptions import InstanceError, WorkloadError
+from repro.relational.generators import random_instantiation, random_relation, skewed_instantiation
+from repro.relational.instance import Instantiation
+from repro.relational.schema import DatabaseSchema, RelationName, scheme
+from repro.relational.tuples import Relation
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([RelationName("R", "AB"), RelationName("S", "BC")])
+
+
+class TestInstantiation:
+    def test_defaults_to_empty_relation(self, schema):
+        alpha = Instantiation()
+        assert alpha.relation(schema["R"]) == Relation.empty("AB")
+
+    def test_from_rows(self, schema):
+        alpha = Instantiation.from_rows(schema, {"R": [{"A": 1, "B": 2}]})
+        assert len(alpha.relation(schema["R"])) == 1
+        assert len(alpha.relation(schema["S"])) == 0
+
+    def test_type_mismatch_rejected(self, schema):
+        with pytest.raises(InstanceError):
+            Instantiation({schema["R"]: Relation.empty("BC")})
+
+    def test_with_relation_is_functional_update(self, schema):
+        alpha = Instantiation()
+        updated = alpha.with_relation(schema["R"], Relation.from_values("AB", [{"A": 1, "B": 2}]))
+        assert len(alpha.relation(schema["R"])) == 0
+        assert len(updated.relation(schema["R"])) == 1
+
+    def test_with_relations_bulk_update(self, schema):
+        updated = Instantiation().with_relations(
+            {schema["R"]: Relation.from_values("AB", [{"A": 1, "B": 2}])}
+        )
+        assert updated.total_tuples() == 1
+
+    def test_restricted_to(self, schema):
+        alpha = Instantiation.from_rows(
+            schema, {"R": [{"A": 1, "B": 2}], "S": [{"B": 2, "C": 3}]}
+        )
+        restricted = alpha.restricted_to([schema["R"]])
+        assert len(restricted) == 1
+        assert len(restricted.relation(schema["S"])) == 0
+
+    def test_agrees_with(self, schema):
+        alpha = Instantiation.from_rows(schema, {"R": [{"A": 1, "B": 2}]})
+        beta = alpha.with_relation(schema["S"], Relation.from_values("BC", [{"B": 1, "C": 1}]))
+        assert alpha.agrees_with(beta, [schema["R"]])
+        assert not alpha.agrees_with(beta, [schema["S"]])
+
+    def test_call_syntax(self, schema):
+        alpha = Instantiation.from_rows(schema, {"R": [{"A": 1, "B": 2}]})
+        assert alpha(schema["R"]) == alpha.relation(schema["R"])
+
+    def test_equality_and_hash(self, schema):
+        first = Instantiation.from_rows(schema, {"R": [{"A": 1, "B": 2}]})
+        second = Instantiation.from_rows(schema, {"R": [{"A": 1, "B": 2}]})
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestGenerators:
+    def test_random_relation_size_and_scheme(self):
+        rel = random_relation(scheme("AB"), 10, random.Random(0))
+        assert rel.scheme == scheme("AB")
+        assert 0 < len(rel) <= 10
+
+    def test_random_relation_rejects_negative_size(self):
+        with pytest.raises(WorkloadError):
+            random_relation(scheme("AB"), -1)
+
+    def test_random_instantiation_covers_schema(self, schema):
+        alpha = random_instantiation(schema, tuples_per_relation=5, seed=1)
+        assert len(alpha.relation(schema["R"])) > 0
+        assert len(alpha.relation(schema["S"])) > 0
+
+    def test_random_instantiation_is_seeded(self, schema):
+        assert random_instantiation(schema, seed=7) == random_instantiation(schema, seed=7)
+        assert random_instantiation(schema, seed=7) != random_instantiation(schema, seed=8)
+
+    def test_skewed_instantiation_valid(self, schema):
+        alpha = skewed_instantiation(schema, tuples_per_relation=20, seed=3)
+        assert alpha.total_tuples() > 0
+
+    def test_skewed_instantiation_parameter_validation(self, schema):
+        with pytest.raises(WorkloadError):
+            skewed_instantiation(schema, hot_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            skewed_instantiation(schema, hot_values=0)

@@ -1,0 +1,88 @@
+"""Unit tests for projection and natural join on relations."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.operations import join, join_all, project
+from repro.relational.schema import scheme
+from repro.relational.tuples import Relation
+
+
+def rel(spec, rows):
+    return Relation.from_values(spec, rows)
+
+
+class TestProject:
+    def test_basic_projection(self):
+        r = rel("AB", [{"A": 1, "B": 2}, {"A": 1, "B": 3}])
+        assert project(r, "A") == rel("A", [{"A": 1}])
+
+    def test_projection_keeps_scheme(self):
+        r = rel("ABC", [{"A": 1, "B": 2, "C": 3}])
+        assert project(r, "AC").scheme == scheme("AC")
+
+    def test_projection_outside_scheme_rejected(self):
+        with pytest.raises(SchemaError):
+            project(rel("AB", []), "C")
+
+    def test_projection_of_empty_relation(self):
+        assert len(project(rel("AB", []), "A")) == 0
+
+
+class TestJoin:
+    def test_natural_join_on_common_attribute(self):
+        r = rel("AB", [{"A": 1, "B": 2}, {"A": 3, "B": 4}])
+        s = rel("BC", [{"B": 2, "C": 5}])
+        assert join(r, s) == rel("ABC", [{"A": 1, "B": 2, "C": 5}])
+
+    def test_join_result_scheme_is_union(self):
+        r = rel("AB", [])
+        s = rel("BC", [])
+        assert join(r, s).scheme == scheme("ABC")
+
+    def test_cartesian_product_without_common_attributes(self):
+        r = rel("A", [{"A": 1}, {"A": 2}])
+        s = rel("B", [{"B": 3}])
+        assert len(join(r, s)) == 2
+
+    def test_join_same_scheme_is_intersection(self):
+        r = rel("AB", [{"A": 1, "B": 2}, {"A": 3, "B": 4}])
+        s = rel("AB", [{"A": 1, "B": 2}, {"A": 9, "B": 9}])
+        assert join(r, s) == rel("AB", [{"A": 1, "B": 2}])
+
+    def test_join_with_empty_operand_is_empty(self):
+        r = rel("AB", [{"A": 1, "B": 2}])
+        assert len(join(r, rel("BC", []))) == 0
+
+    def test_join_is_commutative(self):
+        r = rel("AB", [{"A": 1, "B": 2}, {"A": 2, "B": 2}])
+        s = rel("BC", [{"B": 2, "C": 7}, {"B": 3, "C": 8}])
+        assert join(r, s) == join(s, r)
+
+    def test_join_fanout(self):
+        r = rel("AB", [{"A": 1, "B": 2}, {"A": 2, "B": 2}])
+        s = rel("BC", [{"B": 2, "C": 7}, {"B": 2, "C": 8}])
+        assert len(join(r, s)) == 4
+
+
+class TestJoinAll:
+    def test_join_all_three_relations(self):
+        r = rel("AB", [{"A": 1, "B": 2}])
+        s = rel("BC", [{"B": 2, "C": 3}])
+        t = rel("CD", [{"C": 3, "D": 4}])
+        result = join_all([r, s, t])
+        assert result == rel("ABCD", [{"A": 1, "B": 2, "C": 3, "D": 4}])
+
+    def test_join_all_single_relation(self):
+        r = rel("AB", [{"A": 1, "B": 2}])
+        assert join_all([r]) == r
+
+    def test_join_all_empty_sequence_rejected(self):
+        with pytest.raises(SchemaError):
+            join_all([])
+
+    def test_join_all_is_associative(self):
+        r = rel("AB", [{"A": 1, "B": 2}, {"A": 2, "B": 3}])
+        s = rel("BC", [{"B": 2, "C": 3}, {"B": 3, "C": 4}])
+        t = rel("AC", [{"A": 1, "C": 3}, {"A": 2, "C": 4}])
+        assert join_all([r, s, t]) == join(join(r, s), t) == join(r, join(s, t))

@@ -1,0 +1,68 @@
+"""Tests for template reduction (Proposition 2.4.4)."""
+
+import pytest
+
+from repro.relalg.parser import parse_expression
+from repro.templates.from_expression import template_from_expression
+from repro.templates.homomorphism import templates_equivalent, templates_isomorphic
+from repro.templates.reduction import is_reduced, reduce_template
+
+
+def T(text, schema):
+    return template_from_expression(parse_expression(text, schema))
+
+
+class TestReduce:
+    def test_reduction_preserves_mapping(self, rs_schema):
+        texts = [
+            "R & S",
+            "(R & S & pi{B}(R))",
+            "(R & R & S)",
+            "(pi{A,B}(R) & R)",
+            "pi{A,C}(R & S & pi{B}(S))",
+        ]
+        for text in texts:
+            template = T(text, rs_schema)
+            reduced = reduce_template(template)
+            assert templates_equivalent(template, reduced)
+            assert reduced.rows <= template.rows
+
+    def test_redundant_projection_row_removed(self, rs_schema):
+        template = T("(R & S & pi{B}(R))", rs_schema)
+        reduced = reduce_template(template)
+        assert len(reduced) == 2
+
+    def test_projection_of_atom_folds_into_atom(self, rs_schema):
+        template = T("(pi{A,B}(R) & R)", rs_schema)
+        assert len(reduce_template(template)) == 1
+
+    def test_core_of_irreducible_template_is_itself(self, rs_schema):
+        template = T("pi{A,C}(R & S)", rs_schema)
+        assert reduce_template(template) == template
+        assert is_reduced(template)
+
+    def test_is_reduced_detects_redundancy(self, rs_schema):
+        assert not is_reduced(T("(R & S & pi{B}(R))", rs_schema))
+
+    def test_reduction_keeps_relation_names(self, rs_schema):
+        template = T("(R & S & pi{B}(R))", rs_schema)
+        assert reduce_template(template).relation_names == template.relation_names
+
+    def test_reduction_keeps_target_scheme(self, rs_schema):
+        template = T("(R & S & pi{B}(S))", rs_schema)
+        assert reduce_template(template).target_scheme == template.target_scheme
+
+    def test_reduction_is_idempotent(self, rs_schema):
+        template = T("(R & S & pi{B}(R) & pi{A}(R))", rs_schema)
+        once = reduce_template(template)
+        assert reduce_template(once) == once
+
+    def test_equivalent_reduced_templates_are_isomorphic(self, rs_schema):
+        # Two syntactically different but equivalent expressions: their cores
+        # must be isomorphic (the classical uniqueness of the core).
+        first = reduce_template(T("pi{A,C}(R & S)", rs_schema))
+        second = reduce_template(T("pi{A,C}(pi{A,B}(R) & S & pi{B}(S))", rs_schema))
+        assert templates_isomorphic(first, second)
+
+    def test_single_row_template_is_reduced(self, rs_schema):
+        assert is_reduced(T("pi{A}(R)", rs_schema))

@@ -1,0 +1,105 @@
+"""Tests for report dataclasses, dominance witnesses and construction objects."""
+
+import pytest
+
+from repro.core.report import DefinitionSummary, ViewAnalysisReport
+from repro.relalg import format_expression, parse_expression
+from repro.templates import templates_equivalent
+from repro.views import dominates, find_construction, named_generators
+
+
+class TestDefinitionSummary:
+    def test_fields_round_trip(self):
+        summary = DefinitionSummary(
+            name="V1",
+            target_scheme="AB",
+            template_rows=2,
+            reduced_rows=1,
+            relation_names=("q",),
+            redundant=False,
+            simple=True,
+        )
+        assert summary.name == "V1"
+        assert summary.relation_names == ("q",)
+        assert not summary.redundant and summary.simple
+
+
+class TestViewAnalysisReport:
+    def _report(self):
+        return ViewAnalysisReport(
+            view_size=2,
+            underlying_relations=("q",),
+            view_relations=("V1", "V2"),
+            definitions=(
+                DefinitionSummary("V1", "AB", 1, 1, ("q",), False, True),
+                DefinitionSummary("V2", "BC", 1, 1, ("q",), False, True),
+            ),
+            nonredundant_size=2,
+            size_bound=2,
+            is_nonredundant=True,
+            is_simplified=True,
+            simplified_size=2,
+            simplified_members=("pi{A,B}(q)", "pi{B,C}(q)"),
+        )
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        payload = self._report().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_summary_lines_cover_every_definition(self):
+        lines = self._report().summary_lines()
+        assert sum(1 for line in lines if line.strip().startswith("-")) == 2
+
+    def test_report_is_immutable(self):
+        report = self._report()
+        with pytest.raises(Exception):
+            report.view_size = 99  # type: ignore[misc]
+
+
+class TestDominanceWitness:
+    def test_witness_constructions_verify(self, joined_view, split_view):
+        witness = dominates(joined_view, split_view)
+        assert witness.holds
+        for name, construction in witness.constructions.items():
+            defining = split_view.definition_for(name.name).query
+            assert construction.verify(defining)
+
+    def test_missing_names_reported(self, split_view, q_schema):
+        from repro.relational import RelationName
+        from repro.views import View
+
+        weak = View(
+            [(parse_expression("pi{A}(q)", q_schema), RelationName("PA", "A"))], q_schema
+        )
+        witness = dominates(weak, split_view)
+        assert not witness.holds
+        assert set(name.name for name in witness.missing) == {"W1", "W2"}
+
+
+class TestConstructionObject:
+    def test_fields_are_consistent(self, q_schema):
+        s1 = parse_expression("pi{A,B}(q)", q_schema)
+        s2 = parse_expression("pi{B,C}(q)", q_schema)
+        generators = named_generators([s1, s2])
+        goal = parse_expression("pi{B}(pi{A,B}(q) & pi{B,C}(q))", q_schema)
+        construction = find_construction(generators, goal)
+        assert construction is not None
+        # The outer template only mentions generator names.
+        assert construction.outer_template.relation_names <= set(generators)
+        # The substituted template realises the goal.
+        assert construction.verify(goal)
+        # The rewriting realises the outer template's mapping.
+        from repro.templates import template_from_expression
+
+        assert templates_equivalent(
+            template_from_expression(construction.rewriting), construction.outer_template
+        )
+
+    def test_rewriting_is_printable(self, q_schema):
+        s1 = parse_expression("pi{A,B}(q)", q_schema)
+        generators = named_generators([s1])
+        construction = find_construction(generators, parse_expression("pi{A}(q)", q_schema))
+        text = format_expression(construction.rewriting)
+        assert "G0" in text

@@ -1,0 +1,114 @@
+"""Unit tests for relation schemes, relation names and database schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.attributes import Attribute
+from repro.relational.schema import DatabaseSchema, RelationName, RelationScheme, scheme
+
+
+class TestRelationScheme:
+    def test_from_string(self):
+        assert scheme("AB") == RelationScheme([Attribute("A"), Attribute("B")])
+
+    def test_nonempty_required(self):
+        with pytest.raises(SchemaError):
+            RelationScheme([])
+
+    def test_set_semantics(self):
+        assert scheme("AAB") == scheme("AB")
+        assert len(scheme("AAB")) == 2
+
+    def test_union_and_intersection(self):
+        assert scheme("AB").union(scheme("BC")) == scheme("ABC")
+        assert scheme("AB").intersection(scheme("BC")) == {Attribute("B")}
+        assert (scheme("AB") | scheme("BC")) == scheme("ABC")
+
+    def test_subset_relations(self):
+        assert scheme("A").issubset(scheme("AB"))
+        assert scheme("AB").issuperset(scheme("A"))
+        assert scheme("A") <= scheme("AB")
+        assert not scheme("AC") <= scheme("AB")
+
+    def test_restrict(self):
+        assert scheme("ABC").restrict("AC") == scheme("AC")
+        with pytest.raises(SchemaError):
+            scheme("AB").restrict("AD")
+
+    def test_contains_attribute_or_name(self):
+        assert Attribute("A") in scheme("AB")
+        assert "A" in scheme("AB")
+        assert "C" not in scheme("AB")
+
+    def test_sorted_attributes(self):
+        assert [a.name for a in scheme("CBA").sorted_attributes()] == ["A", "B", "C"]
+
+    def test_str(self):
+        assert str(scheme("BA")) == "AB"
+
+
+class TestRelationName:
+    def test_type_accessible(self):
+        name = RelationName("R", "AB")
+        assert name.type == scheme("AB")
+        assert name.name == "R"
+
+    def test_equality_by_name_and_type(self):
+        assert RelationName("R", "AB") == RelationName("R", "AB")
+        assert RelationName("R", "AB") != RelationName("R", "ABC")
+        assert RelationName("R", "AB") != RelationName("S", "AB")
+
+    def test_renamed_keeps_type(self):
+        renamed = RelationName("R", "AB").renamed("R2")
+        assert renamed.name == "R2"
+        assert renamed.type == scheme("AB")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationName("", "AB")
+
+    def test_hashable(self):
+        assert len({RelationName("R", "AB"), RelationName("R", "AB")}) == 1
+
+
+class TestDatabaseSchema:
+    def test_universe_is_union_of_types(self):
+        db = DatabaseSchema([RelationName("R", "AB"), RelationName("S", "BC")])
+        assert db.universe == scheme("ABC")
+
+    def test_lookup_by_text(self):
+        db = DatabaseSchema([RelationName("R", "AB")])
+        assert db["R"] == RelationName("R", "AB")
+        assert db.get("missing") is None
+        with pytest.raises(SchemaError):
+            db["missing"]
+
+    def test_nonempty_required(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([])
+
+    def test_duplicate_textual_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationName("R", "AB"), RelationName("R", "BC")])
+
+    def test_contains(self):
+        db = DatabaseSchema([RelationName("R", "AB")])
+        assert RelationName("R", "AB") in db
+        assert "R" in db
+        assert "S" not in db
+
+    def test_iteration_is_name_ordered(self):
+        db = DatabaseSchema([RelationName("S", "BC"), RelationName("R", "AB")])
+        assert [name.name for name in db] == ["R", "S"]
+
+    def test_covers(self):
+        r, s = RelationName("R", "AB"), RelationName("S", "BC")
+        db = DatabaseSchema([r, s])
+        assert db.covers({r})
+        assert not db.covers({RelationName("T", "CD")})
+
+    def test_extend(self):
+        db = DatabaseSchema([RelationName("R", "AB")])
+        extended = db.extend([RelationName("S", "BC")])
+        assert len(extended) == 2
+        assert extended.universe == scheme("ABC")

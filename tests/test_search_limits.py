@@ -1,0 +1,103 @@
+"""Tests for search limits, edge cases and failure modes of the decision procedures."""
+
+import pytest
+
+from repro.exceptions import CapacityError
+from repro.relalg import parse_expression
+from repro.relational import RelationName
+from repro.views import (
+    QueryCapacity,
+    SearchLimits,
+    View,
+    closure_contains,
+    find_construction,
+    named_generators,
+)
+
+
+class TestSearchLimits:
+    def test_defaults_are_positive(self):
+        limits = SearchLimits()
+        assert limits.max_candidates > 0
+        assert limits.max_subsets > 0
+        assert limits.max_rows is None
+
+    def test_zero_subsets_means_no_witness(self, q_schema):
+        generators = named_generators([parse_expression("pi{A,B}(q)", q_schema)])
+        goal = parse_expression("pi{A}(q)", q_schema)
+        assert find_construction(generators, goal, SearchLimits(max_subsets=0)) is None
+
+    def test_max_rows_override(self, q_schema):
+        s1 = parse_expression("pi{A,B}(q)", q_schema)
+        s2 = parse_expression("pi{B,C}(q)", q_schema)
+        generators = named_generators([s1, s2])
+        goal = parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema)
+        # The goal needs two view atoms; capping the outer template at one row
+        # makes the (restricted) search fail.
+        assert find_construction(generators, goal, SearchLimits(max_rows=1)) is None
+        assert find_construction(generators, goal, SearchLimits(max_rows=2)) is not None
+
+    def test_limits_flow_through_query_capacity(self, split_view, q_schema):
+        goal = parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema)
+        strict = QueryCapacity(split_view, SearchLimits(max_subsets=0))
+        relaxed = QueryCapacity(split_view)
+        assert not strict.contains(goal)
+        assert relaxed.contains(goal)
+
+    def test_max_candidates_cap(self, q_schema):
+        s1 = parse_expression("pi{A,B}(q)", q_schema)
+        generators = named_generators([s1])
+        goal = parse_expression("pi{A}(q)", q_schema)
+        # Even with a single candidate allowed the construction exists.
+        assert find_construction(generators, goal, SearchLimits(max_candidates=1)) is not None
+
+
+class TestClosureEdgeCases:
+    def test_goal_type_validation(self, q_schema):
+        from repro.views.closure import as_template
+
+        with pytest.raises(CapacityError):
+            as_template("not a query")  # type: ignore[arg-type]
+
+    def test_empty_generator_mapping_never_contains(self, q_schema):
+        goal = parse_expression("pi{A}(q)", q_schema)
+        assert not closure_contains({}, goal)
+
+    def test_generator_over_other_relation_is_ignored(self, rs_schema):
+        r_gen = parse_expression("pi{A,B}(R)", rs_schema)
+        s_goal = parse_expression("pi{B,C}(S)", rs_schema)
+        assert not closure_contains([r_gen], s_goal)
+
+    def test_goal_equivalent_to_generator_found_with_single_row(self, q_schema):
+        s1 = parse_expression("pi{A,B}(q)", q_schema)
+        goal = parse_expression("pi{B,A}(q)", q_schema)  # same mapping, different syntax
+        construction = find_construction(named_generators([s1]), goal)
+        assert construction is not None
+        assert len(construction.outer_template) == 1
+
+    def test_construction_for_projection_of_generator(self, rs_schema):
+        generator = parse_expression("pi{A,C}(R & S)", rs_schema)
+        goal = parse_expression("pi{C}(R & S)", rs_schema)
+        construction = find_construction(named_generators([generator]), goal)
+        assert construction is not None
+        # The rewriting is a projection of the single generator atom.
+        assert construction.rewriting is not None
+        assert construction.rewriting.target_scheme == goal.target_scheme
+
+    def test_duplicate_generators_do_not_break_search(self, q_schema):
+        s1 = parse_expression("pi{A,B}(q)", q_schema)
+        assert closure_contains([s1, s1], parse_expression("pi{A}(q)", q_schema))
+
+    def test_view_with_single_attribute_members(self, q_schema):
+        view = View(
+            [
+                (parse_expression("pi{A}(q)", q_schema), RelationName("PA", "A")),
+                (parse_expression("pi{B}(q)", q_schema), RelationName("PB", "B")),
+            ],
+            q_schema,
+        )
+        capacity = QueryCapacity(view)
+        assert capacity.contains(parse_expression("pi{A}(q)", q_schema))
+        # The cartesian combination is derivable, the correlated pair is not.
+        assert capacity.contains(parse_expression("pi{A}(q) & pi{B}(q)", q_schema))
+        assert not capacity.contains(parse_expression("pi{A,B}(q)", q_schema))

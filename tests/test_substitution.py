@@ -1,0 +1,176 @@
+"""Tests for template assignments and template substitution (Section 2.2)."""
+
+import pytest
+
+from repro.exceptions import SubstitutionError
+from repro.relalg.parser import parse_expression
+from repro.relational.attributes import MarkedSymbol
+from repro.relational.generators import random_instantiation
+from repro.relational.schema import RelationName
+from repro.templates.embedding import evaluate_template
+from repro.templates.from_expression import template_from_expression
+from repro.templates.homomorphism import templates_equivalent
+from repro.templates.substitution import TemplateAssignment, apply_assignment, substitute
+from repro.templates.template import atomic_template
+from repro.templates.to_expression import is_expression_template
+from repro.workloads.scenarios import example_2_2_2
+
+
+def T(text, schema):
+    return template_from_expression(parse_expression(text, schema))
+
+
+@pytest.fixture
+def view_vocabulary(rs_schema):
+    """Two 'view' names over the R/S schema with their defining templates."""
+
+    v1 = RelationName("V1", "AB")
+    v2 = RelationName("V2", "BC")
+    beta = TemplateAssignment(
+        {v1: T("pi{A,B}(R & S)", rs_schema), v2: T("pi{B,C}(S)", rs_schema)}
+    )
+    return v1, v2, beta
+
+
+class TestTemplateAssignment:
+    def test_type_mismatch_rejected(self, rs_schema):
+        v = RelationName("V", "AC")
+        with pytest.raises(SubstitutionError):
+            TemplateAssignment({v: T("pi{A,B}(R)", rs_schema)})
+
+    def test_default_is_atomic_template(self, rs_schema):
+        beta = TemplateAssignment({})
+        name = rs_schema["R"]
+        assert beta.template_for(name) == atomic_template(name)
+
+    def test_explicit_assignment_returned(self, view_vocabulary, rs_schema):
+        v1, _v2, beta = view_vocabulary
+        assert beta(v1) == T("pi{A,B}(R & S)", rs_schema)
+
+    def test_assigned_names(self, view_vocabulary):
+        v1, v2, beta = view_vocabulary
+        assert beta.assigned_names == {v1, v2}
+
+
+class TestSubstitution:
+    def test_blocks_cover_all_rows(self, view_vocabulary):
+        v1, v2, beta = view_vocabulary
+        outer = T("(V1 & V2)", _vocab_schema(v1, v2))
+        result = substitute(outer, beta)
+        union = set()
+        for block in result.blocks.values():
+            union.update(block)
+        assert union == set(result.template.rows)
+
+    def test_block_lookup_and_reverse_lookup(self, view_vocabulary):
+        v1, v2, beta = view_vocabulary
+        outer = T("(V1 & V2)", _vocab_schema(v1, v2))
+        result = substitute(outer, beta)
+        for source in outer.rows:
+            block = result.block_rows(source)
+            for row in block:
+                assert source in result.blocks_containing(row)
+                assert any(origin[0] == source for origin in result.origins_of(row))
+
+    def test_unknown_rows_rejected_in_lookups(self, view_vocabulary, rs_schema):
+        v1, v2, beta = view_vocabulary
+        outer = T("(V1 & V2)", _vocab_schema(v1, v2))
+        result = substitute(outer, beta)
+        foreign = next(iter(T("pi{B}(R)", rs_schema).rows))
+        with pytest.raises(SubstitutionError):
+            result.block_rows(foreign)
+        with pytest.raises(SubstitutionError):
+            result.origins_of(foreign)
+
+    def test_marked_symbols_are_block_local(self, view_vocabulary):
+        v1, v2, beta = view_vocabulary
+        outer = T("(V1 & V2)", _vocab_schema(v1, v2))
+        result = substitute(outer, beta)
+        blocks = list(result.blocks.values())
+        marked_per_block = []
+        for block in blocks:
+            marked = set()
+            for row in block:
+                marked.update(s for s in row.symbols() if isinstance(s, MarkedSymbol))
+            marked_per_block.append(marked)
+        for i in range(len(marked_per_block)):
+            for j in range(i + 1, len(marked_per_block)):
+                assert not (marked_per_block[i] & marked_per_block[j])
+
+    def test_substitution_target_scheme_matches_outer(self, view_vocabulary):
+        v1, v2, beta = view_vocabulary
+        outer = T("pi{A,C}(V1 & V2)", _vocab_schema(v1, v2))
+        result = substitute(outer, beta)
+        assert result.template.target_scheme == outer.target_scheme
+
+    def test_theorem_2_2_3_composition(self, view_vocabulary, rs_schema):
+        # [T -> beta](alpha) == T(beta -> alpha) on random instances.
+        v1, v2, beta = view_vocabulary
+        for outer_text in ("(V1 & V2)", "pi{A,C}(V1 & V2)", "pi{B}(V2)"):
+            outer = T(outer_text, _vocab_schema(v1, v2))
+            substituted = substitute(outer, beta).template
+            for seed in range(3):
+                alpha = random_instantiation(
+                    rs_schema, tuples_per_relation=12, seed=seed, domain_size=5
+                )
+                left = evaluate_template(substituted, alpha)
+                right = evaluate_template(outer, apply_assignment(beta, alpha))
+                assert left == right
+
+    def test_corollary_2_2_4_expression_templates_closed(self, view_vocabulary):
+        # The substitution of expression templates by an expression template is
+        # again an expression template.
+        v1, v2, beta = view_vocabulary
+        outer = T("pi{A,C}(V1 & V2)", _vocab_schema(v1, v2))
+        substituted = substitute(outer, beta).template
+        assert is_expression_template(substituted)
+
+    def test_substitution_equivalent_to_expression_expansion(self, view_vocabulary, rs_schema):
+        # Substituting the outer template corresponds to expanding the outer
+        # expression (Lemma 1.4.1 + Algorithm 2.1.1 commute).
+        from repro.relalg.expand import expand_expression
+
+        v1, v2, beta = view_vocabulary
+        vocab = _vocab_schema(v1, v2)
+        outer_expr = parse_expression("pi{A,C}(V1 & V2)", vocab)
+        outer_template = template_from_expression(outer_expr)
+        substituted = substitute(outer_template, beta).template
+        expanded = expand_expression(
+            outer_expr,
+            {
+                v1: parse_expression("pi{A,B}(R & S)", rs_schema),
+                v2: parse_expression("pi{B,C}(S)", rs_schema),
+            },
+        )
+        assert templates_equivalent(substituted, template_from_expression(expanded))
+
+    def test_identity_substitution(self, rs_schema):
+        # Substituting the default (atomic) assignment leaves the mapping unchanged.
+        outer = T("pi{A,C}(R & S)", rs_schema)
+        result = substitute(outer, TemplateAssignment({}))
+        assert templates_equivalent(result.template, outer)
+
+
+class TestPaperFigure1:
+    def test_figure_1_substitution_shape(self):
+        example = example_2_2_2()
+        result = substitute(example.outer, example.assignment)
+        # Figure 1 shows six tagged tuples in T -> beta.
+        assert len(result.template) == 6
+        # tau1's block is a copy of S1 (two rows); tau2's and tau3's blocks copy S2.
+        sizes = sorted(len(block) for block in result.blocks.values())
+        assert sizes == [2, 2, 2]
+
+    def test_figure_1_substitution_composes(self):
+        example = example_2_2_2()
+        result = substitute(example.outer, example.assignment)
+        alpha = random_instantiation(example.schema, tuples_per_relation=10, seed=5, domain_size=4)
+        left = evaluate_template(result.template, alpha)
+        right = evaluate_template(example.outer, apply_assignment(example.assignment, alpha))
+        assert left == right
+
+
+def _vocab_schema(*names):
+    from repro.relational.schema import DatabaseSchema
+
+    return DatabaseSchema(list(names))

@@ -1,0 +1,161 @@
+"""Unit tests for tagged tuples and templates (validity, TRS, RN, components)."""
+
+import pytest
+
+from repro.exceptions import TemplateError
+from repro.relational.attributes import Attribute, Constant, DistinguishedSymbol
+from repro.relational.schema import RelationName, scheme
+from repro.templates.tagged_tuple import TaggedTuple
+from repro.templates.template import Template, atomic_template
+
+A, B, C = Attribute("A"), Attribute("B"), Attribute("C")
+R_AB = RelationName("R", "AB")
+S_BC = RelationName("S", "BC")
+
+
+def tt(name, **cells):
+    values = {}
+    for attr_name, payload in cells.items():
+        attr = Attribute(attr_name)
+        if payload == 0:
+            values[attr] = DistinguishedSymbol(attr)
+        else:
+            values[attr] = Constant(attr, payload)
+    return TaggedTuple(values, name)
+
+
+class TestTaggedTuple:
+    def test_scheme_must_match_tag(self):
+        with pytest.raises(TemplateError):
+            tt(R_AB, A=0, B=0, C=0)
+
+    def test_value_lookup_and_call_syntax(self):
+        row = tt(R_AB, A=0, B="b1")
+        assert row("A").is_distinguished
+        assert row["B"] == Constant(B, "b1")
+
+    def test_distinguished_attributes(self):
+        row = tt(R_AB, A=0, B="b1")
+        assert row.distinguished_attributes() == {A}
+
+    def test_symbols_and_nondistinguished(self):
+        row = tt(R_AB, A=0, B="b1")
+        assert Constant(B, "b1") in row.symbols()
+        assert row.nondistinguished_symbols() == {Constant(B, "b1")}
+
+    def test_replace_symbols(self):
+        row = tt(R_AB, A=0, B="b1")
+        replaced = row.replace_symbols({Constant(B, "b1"): DistinguishedSymbol(B)})
+        assert replaced.distinguished_attributes() == {A, B}
+
+    def test_retag_requires_same_type(self):
+        row = tt(R_AB, A=0, B="b1")
+        with pytest.raises(TemplateError):
+            row.retag(S_BC)
+        same_type = RelationName("R2", "AB")
+        assert row.retag(same_type).name == same_type
+
+    def test_is_all_distinguished(self):
+        assert tt(R_AB, A=0, B=0).is_all_distinguished()
+        assert not tt(R_AB, A=0, B="b").is_all_distinguished()
+
+    def test_equality_and_hash(self):
+        assert tt(R_AB, A=0, B="b") == tt(R_AB, A=0, B="b")
+        assert len({tt(R_AB, A=0, B="b"), tt(R_AB, A=0, B="b")}) == 1
+
+
+class TestTemplate:
+    def test_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            Template([])
+
+    def test_condition_iii_requires_distinguished(self):
+        with pytest.raises(TemplateError):
+            Template([tt(R_AB, A="a", B="b")])
+
+    def test_target_scheme(self):
+        template = Template([tt(R_AB, A=0, B="b"), tt(S_BC, B="b", C=0)])
+        assert template.target_scheme == scheme("AC")
+
+    def test_relation_names(self):
+        template = Template([tt(R_AB, A=0, B="b"), tt(S_BC, B="b", C=0)])
+        assert template.relation_names == {R_AB, S_BC}
+
+    def test_universe(self):
+        template = Template([tt(R_AB, A=0, B="b"), tt(S_BC, B="b", C=0)])
+        assert template.universe() == scheme("ABC")
+
+    def test_rows_with_symbol_and_column_lookup(self):
+        shared = Constant(B, "b")
+        r_row = tt(R_AB, A=0, B="b")
+        s_row = tt(S_BC, B="b", C=0)
+        template = Template([r_row, s_row])
+        assert template.rows_with_symbol(shared) == {r_row, s_row}
+        assert template.symbols_in_column(B) == {shared}
+
+    def test_rows_tagged(self):
+        r_row = tt(R_AB, A=0, B="b")
+        template = Template([r_row, tt(S_BC, B="x", C=0)])
+        assert template.rows_tagged(R_AB) == {r_row}
+
+    def test_with_and_without_rows(self):
+        r_row = tt(R_AB, A=0, B="b")
+        s_row = tt(S_BC, B="b", C=0)
+        template = Template([r_row])
+        grown = template.with_rows([s_row])
+        assert len(grown) == 2
+        assert len(grown.without_rows([s_row])) == 1
+
+    def test_restrict_requires_subset(self):
+        r_row = tt(R_AB, A=0, B="b")
+        template = Template([r_row])
+        with pytest.raises(TemplateError):
+            template.restrict([tt(S_BC, B="b", C=0)])
+
+    def test_linked_and_components(self):
+        r_row = tt(R_AB, A=0, B="b")
+        s_row = tt(S_BC, B="b", C=0)
+        lone = tt(S_BC, B="z", C=0)
+        template = Template([r_row, s_row, lone])
+        assert template.linked(r_row, s_row)
+        assert not template.linked(r_row, lone)
+        components = template.connected_component_rows()
+        assert len(components) == 2
+        assert {r_row, s_row} in components
+        assert {lone} in components
+
+    def test_component_of(self):
+        r_row = tt(R_AB, A=0, B="b")
+        s_row = tt(S_BC, B="b", C=0)
+        template = Template([r_row, s_row])
+        assert template.component_of(r_row) == {r_row, s_row}
+        with pytest.raises(TemplateError):
+            template.component_of(tt(S_BC, B="q", C=0))
+
+    def test_distinguished_only_rows_are_isolated_components(self):
+        template = Template([tt(R_AB, A=0, B=0), tt(S_BC, B=0, C=0)])
+        assert len(template.connected_component_rows()) == 2
+
+    def test_replace_symbols_may_merge_rows(self):
+        first = tt(R_AB, A=0, B="b1")
+        second = tt(R_AB, A=0, B="b2")
+        template = Template([first, second])
+        merged = template.replace_symbols({Constant(B, "b2"): Constant(B, "b1")})
+        assert len(merged) == 1
+
+    def test_retag_template(self):
+        template = Template([tt(R_AB, A=0, B="b")])
+        renamed = template.retag({R_AB: RelationName("R9", "AB")})
+        assert renamed.relation_names == {RelationName("R9", "AB")}
+
+    def test_atomic_template(self):
+        template = atomic_template(R_AB)
+        assert len(template) == 1
+        assert template.target_scheme == scheme("AB")
+        assert next(iter(template.rows)).is_all_distinguished()
+
+    def test_equality_and_hash(self):
+        first = Template([tt(R_AB, A=0, B="b")])
+        second = Template([tt(R_AB, A=0, B="b")])
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,139 @@
+"""Tests for template evaluation, Algorithm 2.1.1 and the template algebra.
+
+These tests check Proposition 2.1.2 (the template built from an expression
+realises the same mapping) and the correctness of evaluation via
+alpha-embeddings against direct expression evaluation.
+"""
+
+import pytest
+
+from repro.relalg.evaluate import evaluate
+from repro.relalg.parser import parse_expression
+from repro.relational.generators import random_instantiation
+from repro.relational.schema import scheme
+from repro.templates.algebra import join_templates, project_template
+from repro.templates.embedding import embedding_count, evaluate_template, iter_embeddings
+from repro.templates.from_expression import template_from_expression
+from repro.templates.homomorphism import templates_equivalent
+from repro.exceptions import TemplateError
+
+EXPRESSIONS = [
+    "R",
+    "pi{A}(R)",
+    "pi{B}(R)",
+    "(R & S)",
+    "pi{A,C}(R & S)",
+    "pi{A,C}(pi{A,B}(R) & S)",
+    "pi{B}(R & S)",
+    "(R & S & R)",
+    "(pi{A,B}(R) & pi{B,C}(S))",
+    "pi{C}(pi{B,C}(R & S) & S)",
+]
+
+
+class TestAlgorithm211:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_template_realises_expression_mapping(self, rs_schema, text):
+        expression = parse_expression(text, rs_schema)
+        template = template_from_expression(expression)
+        assert template.target_scheme == expression.target_scheme
+        assert template.relation_names == expression.relation_names
+        for seed in (0, 1):
+            alpha = random_instantiation(
+                rs_schema, tuples_per_relation=12, seed=seed, domain_size=5
+            )
+            assert evaluate_template(template, alpha) == evaluate(expression, alpha)
+
+    def test_atom_template_has_all_distinguished_row(self, rs_schema):
+        template = template_from_expression(parse_expression("R", rs_schema))
+        assert len(template) == 1
+        assert next(iter(template.rows)).is_all_distinguished()
+
+    def test_projection_creates_shared_symbol(self, rs_schema):
+        # pi_C(R & S): the projected-away B must become one shared symbol.
+        template = template_from_expression(parse_expression("pi{C}(R & S)", rs_schema))
+        column_b = template.symbols_in_column(scheme("B").sorted_attributes()[0])
+        nondistinguished = {s for s in column_b if not s.is_distinguished}
+        assert len(nondistinguished) == 1
+
+    def test_join_keeps_branches_symbol_disjoint(self, rs_schema):
+        template = template_from_expression(
+            parse_expression("(pi{A}(R) & pi{C}(S))", rs_schema)
+        )
+        components = template.connected_component_rows()
+        assert len(components) == 2
+
+    def test_duplicate_atoms_collapse(self, rs_schema):
+        template = template_from_expression(parse_expression("R & R", rs_schema))
+        assert len(template) == 1
+
+    def test_row_count_matches_distinct_atom_usage(self, rs_schema):
+        template = template_from_expression(parse_expression("pi{A,C}(R & S)", rs_schema))
+        assert len(template) == 2
+
+
+class TestEmbeddings:
+    def test_embedding_count_matches_join_size(self, rs_schema, rs_instance):
+        template = template_from_expression(parse_expression("R & S", rs_schema))
+        assert embedding_count(template, rs_instance) == 2
+
+    def test_no_embeddings_into_empty_instance(self, rs_schema):
+        from repro.relational.instance import Instantiation
+
+        template = template_from_expression(parse_expression("R & S", rs_schema))
+        assert embedding_count(template, Instantiation()) == 0
+
+    def test_embeddings_bind_all_template_symbols(self, rs_schema, rs_instance):
+        template = template_from_expression(parse_expression("pi{A,C}(R & S)", rs_schema))
+        for binding in iter_embeddings(template, rs_instance):
+            assert set(binding) == set(template.symbols())
+
+    def test_evaluation_target_scheme(self, rs_schema, rs_instance):
+        template = template_from_expression(parse_expression("pi{A,C}(R & S)", rs_schema))
+        assert evaluate_template(template, rs_instance).scheme == scheme("AC")
+
+
+class TestTemplateAlgebra:
+    def test_project_template_realises_projection(self, rs_schema):
+        base = template_from_expression(parse_expression("R & S", rs_schema))
+        projected = project_template(base, "AC")
+        direct = template_from_expression(parse_expression("pi{A,C}(R & S)", rs_schema))
+        assert templates_equivalent(projected, direct)
+
+    def test_project_template_requires_subset_of_trs(self, rs_schema):
+        base = template_from_expression(parse_expression("pi{A}(R)", rs_schema))
+        with pytest.raises(TemplateError):
+            project_template(base, "B")
+
+    def test_join_templates_realises_join(self, rs_schema):
+        left = template_from_expression(parse_expression("pi{A,B}(R)", rs_schema))
+        right = template_from_expression(parse_expression("pi{B,C}(S)", rs_schema))
+        joined = join_templates([left, right])
+        direct = template_from_expression(
+            parse_expression("(pi{A,B}(R) & pi{B,C}(S))", rs_schema)
+        )
+        assert templates_equivalent(joined, direct)
+
+    def test_join_templates_renames_apart(self, rs_schema):
+        # Both operands use a nondistinguished symbol; the join must not glue them.
+        left = template_from_expression(parse_expression("pi{A}(R)", rs_schema))
+        right = template_from_expression(parse_expression("pi{C}(S)", rs_schema))
+        joined = join_templates([left, right])
+        assert len(joined.connected_component_rows()) == 2
+
+    def test_join_single_operand_is_identity(self, rs_schema):
+        template = template_from_expression(parse_expression("R", rs_schema))
+        assert join_templates([template]) == template
+
+    def test_join_templates_requires_operands(self):
+        with pytest.raises(TemplateError):
+            join_templates([])
+
+    def test_projection_then_join_composition(self, rs_schema, rs_instance):
+        base = template_from_expression(parse_expression("R & S", rs_schema))
+        composed = join_templates([project_template(base, "AB"), project_template(base, "BC")])
+        direct = template_from_expression(
+            parse_expression("(pi{A,B}(R & S) & pi{B,C}(R & S))", rs_schema)
+        )
+        assert templates_equivalent(composed, direct)
+        assert evaluate_template(composed, rs_instance) == evaluate_template(direct, rs_instance)

@@ -1,0 +1,104 @@
+"""Unit tests for tuples and relations (repro.relational.tuples)."""
+
+import pytest
+
+from repro.exceptions import DomainError, SchemaError
+from repro.relational.attributes import Attribute, Constant, DistinguishedSymbol
+from repro.relational.schema import scheme
+from repro.relational.tuples import Relation, Tuple, tuple_from_values
+
+
+def _t(**values):
+    return tuple_from_values(scheme("".join(sorted(values))), values)
+
+
+class TestTuple:
+    def test_construction_and_lookup(self):
+        t = _t(A=1, B=2)
+        assert t["A"] == Constant(Attribute("A"), 1)
+        assert t(Attribute("B")) == Constant(Attribute("B"), 2)
+        assert t.scheme == scheme("AB")
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            _t(A=1)["B"]
+
+    def test_symbol_attribute_mismatch_rejected(self):
+        with pytest.raises(DomainError):
+            Tuple({Attribute("A"): Constant(Attribute("B"), 1)})
+
+    def test_projection(self):
+        t = _t(A=1, B=2, C=3)
+        assert t.project("AC") == _t(A=1, C=3)
+        with pytest.raises(SchemaError):
+            t.project("AD")
+
+    def test_join_compatible(self):
+        left = _t(A=1, B=2)
+        right = _t(B=2, C=3)
+        joined = left.join(right)
+        assert joined == _t(A=1, B=2, C=3)
+
+    def test_join_incompatible_returns_none(self):
+        assert _t(A=1, B=2).join(_t(B=9, C=3)) is None
+
+    def test_joinable_without_common_attributes(self):
+        assert _t(A=1).joinable(_t(C=3))
+
+    def test_replace_symbols(self):
+        a = Attribute("A")
+        t = Tuple({a: Constant(a, 1)})
+        replaced = t.replace({Constant(a, 1): DistinguishedSymbol(a)})
+        assert replaced[a] == DistinguishedSymbol(a)
+
+    def test_equality_and_hash(self):
+        assert _t(A=1, B=2) == _t(B=2, A=1)
+        assert len({_t(A=1, B=2), _t(A=1, B=2)}) == 1
+
+    def test_tuple_from_values_requires_all_attributes(self):
+        with pytest.raises(SchemaError):
+            tuple_from_values("AB", {"A": 1})
+
+    def test_accepts_prebuilt_symbols(self):
+        a = Attribute("A")
+        t = tuple_from_values("A", {"A": DistinguishedSymbol(a)})
+        assert t[a].is_distinguished
+
+
+class TestRelation:
+    def test_from_values(self):
+        rel = Relation.from_values("AB", [{"A": 1, "B": 2}, {"A": 1, "B": 2}])
+        assert len(rel) == 1  # duplicates collapse
+        assert rel.scheme == scheme("AB")
+
+    def test_scheme_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("AB", [_t(A=1, C=2)])
+
+    def test_empty_relation(self):
+        rel = Relation.empty("AB")
+        assert len(rel) == 0
+        assert not rel
+
+    def test_with_tuple_and_union(self):
+        rel = Relation.empty("A").with_tuple(_t(A=1))
+        other = Relation.from_values("A", [{"A": 2}])
+        union = rel.union(other)
+        assert len(union) == 2
+        with pytest.raises(SchemaError):
+            rel.union(Relation.empty("B"))
+
+    def test_membership(self):
+        rel = Relation.from_values("A", [{"A": 1}])
+        assert _t(A=1) in rel
+        assert _t(A=2) not in rel
+
+    def test_equality(self):
+        first = Relation.from_values("A", [{"A": 1}, {"A": 2}])
+        second = Relation.from_values("A", [{"A": 2}, {"A": 1}])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_iteration_is_deterministic(self):
+        rel = Relation.from_values("A", [{"A": 2}, {"A": 1}])
+        assert list(rel) == list(rel)

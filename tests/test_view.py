@@ -1,0 +1,118 @@
+"""Tests for views, view definitions and induced instantiations (Section 1.3)."""
+
+import pytest
+
+from repro.exceptions import ViewError
+from repro.relalg import evaluate, parse_expression
+from repro.relational import DatabaseSchema, RelationName
+from repro.views import View, ViewDefinition
+
+
+class TestViewDefinition:
+    def test_type_must_match_trs(self, q_schema):
+        query = parse_expression("pi{A,B}(q)", q_schema)
+        with pytest.raises(ViewError):
+            ViewDefinition(query, RelationName("V", "ABC"))
+
+    def test_valid_definition(self, q_schema):
+        query = parse_expression("pi{A,B}(q)", q_schema)
+        definition = ViewDefinition(query, RelationName("V", "AB"))
+        assert definition.name.type == query.target_scheme
+
+    def test_rejects_non_expression(self, q_schema):
+        with pytest.raises(ViewError):
+            ViewDefinition("pi{A,B}(q)", RelationName("V", "AB"))  # type: ignore[arg-type]
+
+
+class TestViewConstruction:
+    def test_needs_at_least_one_definition(self, q_schema):
+        with pytest.raises(ViewError):
+            View([], q_schema)
+
+    def test_duplicate_view_names_rejected(self, q_schema):
+        query = parse_expression("pi{A,B}(q)", q_schema)
+        name = RelationName("V", "AB")
+        with pytest.raises(ViewError):
+            View([(query, name), (query, name)], q_schema)
+
+    def test_view_names_must_not_shadow_base_names(self, q_schema):
+        query = parse_expression("pi{A,B,C}(q)", q_schema)
+        with pytest.raises(ViewError):
+            View([(query, RelationName("q", "ABC"))], q_schema)
+
+    def test_queries_must_stay_inside_schema(self, q_schema, rs_schema):
+        foreign = parse_expression("R", rs_schema)
+        with pytest.raises(ViewError):
+            View([(foreign, RelationName("V", "AB"))], q_schema)
+
+    def test_underlying_schema_inferred_when_omitted(self, q_schema):
+        query = parse_expression("pi{A,B}(q)", q_schema)
+        view = View([(query, RelationName("V", "AB"))])
+        assert view.underlying_schema == DatabaseSchema([q_schema["q"]])
+
+    def test_pairs_and_definitions_accepted(self, q_schema):
+        query = parse_expression("pi{A,B}(q)", q_schema)
+        as_pair = View([(query, RelationName("V", "AB"))], q_schema)
+        as_definition = View([ViewDefinition(query, RelationName("V", "AB"))], q_schema)
+        assert as_pair == as_definition
+
+    def test_view_schema_and_names(self, split_view):
+        assert {name.name for name in split_view.view_names} == {"W1", "W2"}
+        assert len(split_view.view_schema) == 2
+
+    def test_definition_lookup(self, split_view):
+        assert split_view.definition_for("W1").name.name == "W1"
+        with pytest.raises(ViewError):
+            split_view.definition_for("missing")
+
+
+class TestViewSemantics:
+    def test_induced_instantiation_assigns_view_relations(self, split_view, q_instance):
+        induced = split_view.induced_instantiation(q_instance)
+        for definition in split_view.definitions:
+            assert induced.relation(definition.name) == evaluate(definition.query, q_instance)
+
+    def test_induced_instantiation_keeps_base_relations(self, split_view, q_schema, q_instance):
+        induced = split_view.induced_instantiation(q_instance)
+        assert induced.relation(q_schema["q"]) == q_instance.relation(q_schema["q"])
+
+    def test_materialise_returns_only_view_relations(self, split_view, q_schema, q_instance):
+        materialised = split_view.materialise(q_instance)
+        assert set(materialised.assigned_names) == set(split_view.view_names)
+
+    def test_defining_templates_keyed_by_name(self, split_view):
+        templates = split_view.defining_templates()
+        assert set(templates) == set(split_view.view_names)
+        for name, template in templates.items():
+            assert template.target_scheme == name.type
+
+    def test_reduced_defining_templates_not_larger(self, split_view):
+        full = split_view.defining_templates()
+        reduced = split_view.reduced_defining_templates()
+        for name in full:
+            assert len(reduced[name]) <= len(full[name])
+
+    def test_template_assignment_round_trip(self, split_view):
+        assignment = split_view.template_assignment()
+        for name, template in split_view.defining_templates().items():
+            assert assignment(name) == template
+
+
+class TestViewTransforms:
+    def test_renamed_changes_only_names(self, split_view):
+        renamed = split_view.renamed({"W1": "Z1"})
+        assert {name.name for name in renamed.view_names} == {"Z1", "W2"}
+        assert set(renamed.defining_queries) == set(split_view.defining_queries)
+
+    def test_with_definitions(self, split_view, q_schema):
+        query = parse_expression("pi{A}(q)", q_schema)
+        replaced = split_view.with_definitions([(query, RelationName("OnlyA", "A"))])
+        assert len(replaced) == 1
+        assert replaced.underlying_schema == split_view.underlying_schema
+
+    def test_view_equality_and_hash(self, q_schema):
+        query = parse_expression("pi{A,B}(q)", q_schema)
+        first = View([(query, RelationName("V", "AB"))], q_schema)
+        second = View([(query, RelationName("V", "AB"))], q_schema)
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,114 @@
+"""Property-based tests at the view level.
+
+These properties tie the decision procedures back to concrete semantics: a
+positive capacity-membership answer must come with a rewriting that returns
+the goal's answers on random instances, equivalent views must answer every
+view query identically after renaming, and redundancy removal must never
+change the capacity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.relalg import evaluate
+from repro.relalg.ast import Join, Projection, RelationRef
+from repro.relational.generators import random_instantiation
+from repro.relational.schema import DatabaseSchema, RelationName, RelationScheme
+from repro.views import (
+    QueryCapacity,
+    View,
+    answer_view_query,
+    remove_redundancy,
+    views_equivalent,
+)
+from repro.workloads import redundant_view
+
+SCHEMA = DatabaseSchema([RelationName("R", "AB"), RelationName("S", "BC")])
+NAMES = sorted(SCHEMA.relation_names, key=lambda n: n.name)
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_query(rng: random.Random, atoms: int):
+    def build(count: int):
+        if count == 1:
+            expression = RelationRef(rng.choice(NAMES))
+        else:
+            split = rng.randint(1, count - 1)
+            expression = Join((build(split), build(count - split)))
+        attrs = expression.target_scheme.sorted_attributes()
+        if len(attrs) > 1 and rng.random() < 0.5:
+            keep = rng.randint(1, len(attrs) - 1)
+            expression = Projection(expression, RelationScheme(rng.sample(attrs, keep)))
+        return expression
+
+    return build(atoms)
+
+
+@st.composite
+def views_and_goals(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    members = rng.randint(1, 3)
+    definitions = []
+    for index in range(members):
+        query = _random_query(rng, rng.randint(1, 2))
+        definitions.append((query, RelationName(f"V{index}", query.target_scheme)))
+    view = View(definitions, SCHEMA)
+    goal = _random_query(rng, rng.randint(1, 2))
+    return view, goal, seed
+
+
+@given(views_and_goals())
+@_SETTINGS
+def test_membership_witness_is_executable(case):
+    """A positive membership answer yields a rewriting with identical answers."""
+
+    view, goal, seed = case
+    capacity = QueryCapacity(view)
+    construction = capacity.explain(goal)
+    if construction is None or construction.rewriting is None:
+        return
+    alpha = random_instantiation(SCHEMA, tuples_per_relation=10, seed=seed, domain_size=4)
+    assert answer_view_query(view, construction.rewriting, alpha) == evaluate(goal, alpha)
+
+
+@given(views_and_goals())
+@_SETTINGS
+def test_redundancy_removal_preserves_capacity(case):
+    """The nonredundant equivalent has exactly the same capacity."""
+
+    view, goal, _seed = case
+    padded = redundant_view(view, extra_members=1, seed=3)
+    slim = remove_redundancy(padded)
+    assert views_equivalent(slim, padded)
+    assert QueryCapacity(slim).contains(goal) == QueryCapacity(padded).contains(goal)
+
+
+@given(views_and_goals())
+@_SETTINGS
+def test_membership_is_invariant_under_view_renaming(case):
+    """Capacity is a property of the defining queries, not of the view names."""
+
+    view, goal, _seed = case
+    renamed = view.renamed({name.name: f"X{name.name}" for name in view.view_names})
+    assert QueryCapacity(view).contains(goal) == QueryCapacity(renamed).contains(goal)
+
+
+@given(views_and_goals())
+@_SETTINGS
+def test_generators_always_in_capacity(case):
+    """Theorem 1.5.2: every defining query lies in the view's own capacity."""
+
+    view, _goal, _seed = case
+    capacity = QueryCapacity(view)
+    for query in view.defining_queries:
+        assert capacity.contains(query)
