@@ -1,0 +1,318 @@
+"""Lightweight timing harness: the machine-readable perf trajectory.
+
+Runs the scenarios of the ``bench_membership``, ``bench_equivalence`` and
+``bench_redundancy`` suites against both engines —
+
+* **seed** — the preserved pre-optimisation implementations
+  (:mod:`repro.baselines.seed_engine`), and
+* **optimised** — the indexed + memoized engine, measured twice: *cold*
+  (memo tables cleared before every run) and *warm* (tables primed, the
+  steady state of multi-scenario traffic) —
+
+cross-checks that both engines agree on every answer, and writes
+``BENCH_perf.json`` at the repository root: median wall-times, speedups
+over the seed, and memo-table hit rates.  Every PR from this one onward
+appends to that trajectory; CI runs ``--smoke`` to keep the file fresh.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--smoke]
+        [--repeats N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.baselines.seed_engine import (  # noqa: E402
+    seed_closure_contains,
+    seed_remove_redundancy_queries,
+    seed_views_equivalent,
+)
+from repro.perf import cache_stats, clear_caches  # noqa: E402
+from repro.relalg import parse_expression  # noqa: E402
+from repro.relational import DatabaseSchema, RelationName  # noqa: E402
+from repro.views import (  # noqa: E402
+    View,
+    closure_contains,
+    named_generators,
+    remove_redundancy,
+    views_equivalent,
+)
+from repro.views.redundancy import nonredundant_query_set  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    SchemaSpec,
+    equivalent_view_pair,
+    perturbed_view,
+    random_schema,
+    random_view,
+    redundant_view,
+)
+
+DEFAULT_REPEATS = 7
+SMOKE_REPEATS = 3
+
+#: Memo tables whose hit rates the trajectory records.
+TRACKED_TABLES = (
+    "hom.has_homomorphism",
+    "reduction.reduce_template",
+    "closure.find_construction",
+)
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int, *, clear: bool) -> float:
+    times: List[float] = []
+    for _ in range(repeats):
+        if clear:
+            clear_caches()
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _time_scenario(
+    name: str,
+    seed_fn: Callable[[], object],
+    optimised_fn: Callable[[], object],
+    repeats: int,
+) -> Dict[str, object]:
+    seed_answer = seed_fn()
+    clear_caches()
+    optimised_answer = optimised_fn()
+    agree = seed_answer == optimised_answer
+
+    seed_s = _median_seconds(seed_fn, repeats, clear=False)
+    cold_s = _median_seconds(optimised_fn, repeats, clear=True)
+    clear_caches()
+    optimised_fn()  # prime the memo tables
+    warm_s = _median_seconds(optimised_fn, repeats, clear=False)
+
+    floor = 1e-9
+    return {
+        "name": name,
+        "agree": agree,
+        "seed_s": seed_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup_cold": seed_s / max(cold_s, floor),
+        "speedup_warm": seed_s / max(warm_s, floor),
+    }
+
+
+def _suite_summary(scenarios: List[Dict[str, object]]) -> Dict[str, object]:
+    return {
+        "median_speedup_cold": statistics.median(
+            s["speedup_cold"] for s in scenarios
+        ),
+        "median_speedup_warm": statistics.median(
+            s["speedup_warm"] for s in scenarios
+        ),
+        "all_agree": all(s["agree"] for s in scenarios),
+    }
+
+
+def _tracked_cache_stats() -> Dict[str, Dict[str, object]]:
+    snapshot = cache_stats()
+    return {
+        name: {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": round(stats.hit_rate, 4),
+            "size": stats.size,
+        }
+        for name, stats in snapshot.items()
+        if name in TRACKED_TABLES
+    }
+
+
+# ------------------------------------------------------------------- suites
+def bench_membership(repeats: int) -> Dict[str, object]:
+    """Experiment E4 — capacity membership (Theorem 2.4.11)."""
+
+    q_schema = DatabaseSchema([RelationName("q", "ABC")])
+    generators = named_generators(
+        [
+            parse_expression("pi{A,B}(q)", q_schema),
+            parse_expression("pi{B,C}(q)", q_schema),
+        ]
+    )
+    goals = {
+        "k1_projection": "pi{A}(q)",
+        "k2_join": "pi{A,B}(q) & pi{B,C}(q)",
+        "k1_negative": "pi{A,C}(q)",
+        "k2_negative": "q",
+        "k3_negative": "pi{A,B}(q) & pi{B,C}(q) & pi{A,C}(q)",
+        "k3_positive": "pi{A,B}(q) & pi{B,C}(q) & pi{A,B}(q)",
+    }
+    scenarios = []
+    for name in sorted(goals):
+        goal = parse_expression(goals[name], q_schema)
+        scenarios.append(
+            _time_scenario(
+                name,
+                lambda goal=goal: seed_closure_contains(generators, goal),
+                lambda goal=goal: closure_contains(generators, goal),
+                repeats,
+            )
+        )
+    suite = {"scenarios": scenarios, "cache": _tracked_cache_stats()}
+    suite.update(_suite_summary(scenarios))
+    return suite
+
+
+def bench_equivalence(repeats: int) -> Dict[str, object]:
+    """Experiment E5 — view equivalence (Theorem 2.4.12)."""
+
+    schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=17)
+    q_schema = DatabaseSchema([RelationName("q", "ABC")])
+    split = View(
+        [
+            (parse_expression("pi{A,B}(q)", q_schema), RelationName("W1", "AB")),
+            (parse_expression("pi{B,C}(q)", q_schema), RelationName("W2", "BC")),
+        ],
+        q_schema,
+    )
+    joined = View(
+        [
+            (
+                parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema),
+                RelationName("lam", "ABC"),
+            )
+        ],
+        q_schema,
+    )
+
+    pairs = {}
+    for members in (1, 2):
+        first, second = equivalent_view_pair(
+            schema, members=members, atoms_per_query=2, seed=members
+        )
+        pairs[f"equivalent_m{members}"] = (first, second)
+        base = random_view(schema, members=members, atoms_per_query=2, seed=members + 40)
+        pairs[f"non_equivalent_m{members}"] = (base, perturbed_view(base, seed=members + 41))
+    pairs["example_3_1_5"] = (split, joined)
+
+    scenarios = []
+    for name in sorted(pairs):
+        first, second = pairs[name]
+        scenarios.append(
+            _time_scenario(
+                name,
+                lambda a=first, b=second: seed_views_equivalent(a, b),
+                lambda a=first, b=second: views_equivalent(a, b),
+                repeats,
+            )
+        )
+    suite = {"scenarios": scenarios, "cache": _tracked_cache_stats()}
+    suite.update(_suite_summary(scenarios))
+    return suite
+
+
+def bench_redundancy(repeats: int) -> Dict[str, object]:
+    """Experiment E6 — redundancy elimination (Theorem 3.1.4)."""
+
+    schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=5)
+    base = random_view(schema, members=2, atoms_per_query=2, seed=31)
+    scenarios = []
+    for extra in (0, 1, 2):
+        padded = redundant_view(base, extra_members=extra, seed=32) if extra else base
+        queries = padded.defining_queries
+        scenarios.append(
+            _time_scenario(
+                f"remove_redundancy_extra{extra}",
+                lambda qs=queries: len(seed_remove_redundancy_queries(list(qs))),
+                lambda qs=queries: len(nonredundant_query_set(list(qs))),
+                repeats,
+            )
+        )
+    # The view-level API end to end, as bench_redundancy measures it.
+    padded2 = redundant_view(base, extra_members=2, seed=32)
+    scenarios.append(
+        _time_scenario(
+            "remove_redundancy_view_api",
+            lambda: len(seed_remove_redundancy_queries(list(padded2.defining_queries))),
+            lambda: len(remove_redundancy(padded2)),
+            repeats,
+        )
+    )
+    suite = {"scenarios": scenarios, "cache": _tracked_cache_stats()}
+    suite.update(_suite_summary(scenarios))
+    return suite
+
+
+SUITES = {
+    "membership": bench_membership,
+    "equivalence": bench_equivalence,
+    "redundancy": bench_redundancy,
+}
+
+
+def run(repeats: int, smoke: bool) -> Dict[str, object]:
+    suites: Dict[str, object] = {}
+    for name, runner in SUITES.items():
+        clear_caches()
+        print(f"[bench] running suite: {name} (repeats={repeats})")
+        suites[name] = runner(repeats)
+        summary = suites[name]
+        print(
+            f"[bench]   median speedup over seed: "
+            f"cold {summary['median_speedup_cold']:.1f}x, "
+            f"warm {summary['median_speedup_warm']:.1f}x, "
+            f"agree={summary['all_agree']}"
+        )
+    report = {
+        "schema_version": 1,
+        "created_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "config": {"repeats": repeats, "smoke": smoke},
+        "suites": suites,
+        "summary": {
+            name: {
+                "median_speedup_cold": suites[name]["median_speedup_cold"],
+                "median_speedup_warm": suites[name]["median_speedup_warm"],
+                "all_agree": suites[name]["all_agree"],
+            }
+            for name in suites
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="fewer repeats, for CI")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_ROOT, "BENCH_perf.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (SMOKE_REPEATS if args.smoke else DEFAULT_REPEATS)
+
+    report = run(repeats, args.smoke)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {args.output}")
+
+    if not all(entry["all_agree"] for entry in report["summary"].values()):
+        print("[bench] ERROR: seed and optimised engines disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,11 +62,16 @@ from repro.views import (
     surrogate_query,
     views_equivalent,
 )
+from repro.perf import cache_stats, clear_caches
+from repro.perf import configure as configure_perf
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "cache_stats",
+    "clear_caches",
+    "configure_perf",
     "ViewAnalyzer",
     "ViewAnalysisReport",
     "Attribute",

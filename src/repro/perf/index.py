@@ -1,0 +1,94 @@
+"""Per-target row indexes for the homomorphism search.
+
+The seed implementation rescanned every row of the target template for every
+row of the source on every call (``_candidate_rows`` in
+:mod:`repro.templates.homomorphism`).  A :class:`TargetIndex` computes, once
+per target template, buckets keyed by ``(tag, distinguished-column
+pattern)`` — the only structural information a candidate filter can use:
+
+* a source row can only map onto target rows carrying the *same tag*;
+* when the search must preserve distinguished symbols (homomorphisms, as
+  opposed to foldings), the image row must be distinguished at *every
+  column where the source row is* — i.e. its distinguished-column pattern
+  must be a superset of the source row's.
+
+Superset queries are answered from the pattern buckets and memoised per
+``(tag, required pattern)``, so repeated searches against the same target
+(the common case inside ``reduce_template`` and the construction search)
+cost one dictionary probe per source row.  Indexes themselves live in a
+bounded LRU table keyed by the (immutable, hashable) target template.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.perf.cache import LRUCache, caches_enabled
+from repro.relational.attributes import Attribute
+from repro.relational.schema import RelationName
+from repro.templates.tagged_tuple import TaggedTuple
+from repro.templates.template import Template
+
+__all__ = ["TargetIndex", "target_index"]
+
+_INDEX_CACHE = LRUCache("perf.target_index", maxsize=2048)
+
+
+class TargetIndex:
+    """Candidate-row lookup structure over one target template."""
+
+    __slots__ = ("_buckets", "_all_rows", "_superset_memo")
+
+    def __init__(self, target: Template) -> None:
+        buckets: Dict[RelationName, Dict[FrozenSet[Attribute], List[TaggedTuple]]] = {}
+        all_rows: Dict[RelationName, Tuple[TaggedTuple, ...]] = {}
+        for row in sorted(target.rows, key=str):
+            pattern = row.distinguished_attributes()
+            buckets.setdefault(row.name, {}).setdefault(pattern, []).append(row)
+        for name, patterns in buckets.items():
+            all_rows[name] = tuple(
+                row for rows in patterns.values() for row in rows
+            )
+        self._buckets = buckets
+        self._all_rows = all_rows
+        self._superset_memo: Dict[
+            Tuple[RelationName, FrozenSet[Attribute]], Tuple[TaggedTuple, ...]
+        ] = {}
+
+    def candidates(
+        self, row: TaggedTuple, preserve_distinguished: bool
+    ) -> Tuple[TaggedTuple, ...]:
+        """Target rows ``row`` could map onto."""
+
+        matches = self._all_rows.get(row.name)
+        if matches is None:
+            return ()
+        if not preserve_distinguished:
+            return matches
+        required = row.distinguished_attributes()
+        if not required:
+            return matches
+        key = (row.name, required)
+        memoised = self._superset_memo.get(key)
+        if memoised is None:
+            memoised = tuple(
+                candidate
+                for pattern, rows in self._buckets[row.name].items()
+                if pattern >= required
+                for candidate in rows
+            )
+            self._superset_memo[key] = memoised
+        return memoised
+
+
+def target_index(target: Template) -> TargetIndex:
+    """The (LRU-cached) :class:`TargetIndex` of ``target``."""
+
+    if not caches_enabled():
+        return TargetIndex(target)
+    found, index = _INDEX_CACHE.lookup(target)
+    if found:
+        return index
+    index = TargetIndex(target)
+    _INDEX_CACHE.put(target, index)
+    return index

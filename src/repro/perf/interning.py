@@ -1,0 +1,63 @@
+"""Interning of immutable values.
+
+Canonical signatures (see :mod:`repro.perf.signature`) are structured tuples
+that recur constantly as memo-table keys: every containment check inside a
+``dominates`` call rebuilds the signature of the same handful of templates.
+Interning collapses equal signatures to a single object so that subsequent
+dictionary probes hit the identity fast path of ``==`` instead of comparing
+nested tuples element by element.
+"""
+
+from __future__ import annotations
+
+from threading import RLock
+from typing import Dict, Hashable, TypeVar
+
+__all__ = ["Interner", "intern_value"]
+
+_T = TypeVar("_T", bound=Hashable)
+
+
+class Interner:
+    """A table mapping every seen value to its first, canonical occurrence."""
+
+    __slots__ = ("_table", "_lock", "_maxsize")
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self._table: Dict[Hashable, Hashable] = {}
+        self._lock = RLock()
+        self._maxsize = max(1, int(maxsize))
+
+    def intern(self, value: _T) -> _T:
+        """The canonical object equal to ``value`` (inserting it when new)."""
+
+        with self._lock:
+            found = self._table.get(value)
+            if found is not None:
+                return found  # type: ignore[return-value]
+            if len(self._table) >= self._maxsize:
+                # Wholesale reset: interning is a pure optimisation, so
+                # forgetting canonical representatives only costs future
+                # identity fast paths, never correctness.
+                self._table.clear()
+            self._table[value] = value
+            return value
+
+    def clear(self) -> None:
+        """Forget every canonical representative."""
+
+        with self._lock:
+            self._table.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)
+
+
+_GLOBAL = Interner()
+
+
+def intern_value(value: _T) -> _T:
+    """Intern ``value`` in the module-global table."""
+
+    return _GLOBAL.intern(value)

@@ -19,12 +19,24 @@ These are not used by the paper directly but drive the optimised
 query-capacity membership test (see :mod:`repro.views.capacity`), where every
 folding of a defining template into the goal query contributes one candidate
 view atom.
+
+The search itself is the indexed, forward-checking engine built on
+:mod:`repro.perf`: candidate images come from a per-target index keyed by
+``(tag, distinguished-column pattern)`` instead of per-call rescans, rows
+are assigned in minimum-remaining-candidates order with forward checking on
+the partial symbol map, the loop is iterative (no recursion limits), and
+``has_homomorphism`` is memoised under canonical template signatures.  The
+original engine is preserved in :mod:`repro.baselines.seed_engine`, and
+:func:`repro.templates.canonical.has_homomorphism_via_canonical` remains an
+independent oracle; the test-suite cross-checks all three.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple as PyTuple
 
+from repro.perf.cache import LRUCache, caches_enabled
+from repro.perf.index import target_index
 from repro.relational.attributes import DistinguishedSymbol, Symbol
 from repro.templates.tagged_tuple import TaggedTuple
 from repro.templates.template import Template
@@ -42,21 +54,65 @@ __all__ = [
 
 SymbolMap = Dict[Symbol, Symbol]
 
+_HOM_CACHE = LRUCache("hom.has_homomorphism", maxsize=16384)
 
-def _candidate_rows(row: TaggedTuple, target: Template, preserve_distinguished: bool) -> List[TaggedTuple]:
-    """Rows of ``target`` that ``row`` could map onto."""
+#: Smallest combined row count at which the renaming-insensitive signature
+#: tier kicks in.  Below it the backtracking search is microseconds and the
+#: exact template-pair key (precomputed hashes) is the better trade; above
+#: it the search grows exponentially while the signature stays polynomial.
+_SIGNATURE_MIN_ROWS = 8
 
-    candidates = []
-    for other in target.rows_tagged(row.name):
-        if preserve_distinguished:
-            compatible = all(
-                (not symbol.is_distinguished) or other.value(attr).is_distinguished
-                for attr, symbol in row.items()
-            )
-            if not compatible:
-                continue
-        candidates.append(other)
-    return candidates
+
+def _extend(
+    mapping: SymbolMap,
+    row: TaggedTuple,
+    image: TaggedTuple,
+    preserve_distinguished: bool,
+) -> Optional[SymbolMap]:
+    """``mapping`` extended to send ``row`` onto ``image``, or ``None``."""
+
+    extension: SymbolMap = {}
+    for attr, symbol in row.items():
+        target_symbol = image.value(attr)
+        if preserve_distinguished and symbol.is_distinguished:
+            if not target_symbol.is_distinguished:
+                return None
+            continue
+        bound = mapping.get(symbol, extension.get(symbol))
+        if bound is None:
+            extension[symbol] = target_symbol
+        elif bound != target_symbol:
+            return None
+    merged = dict(mapping)
+    merged.update(extension)
+    return merged
+
+
+def _consistent(
+    mapping: SymbolMap,
+    row: TaggedTuple,
+    image: TaggedTuple,
+    preserve_distinguished: bool,
+) -> bool:
+    """Whether ``row`` can map onto ``image`` under ``mapping`` (no allocation)."""
+
+    local: Optional[SymbolMap] = None
+    for attr, symbol in row.items():
+        target_symbol = image.value(attr)
+        if preserve_distinguished and symbol.is_distinguished:
+            if not target_symbol.is_distinguished:
+                return False
+            continue
+        bound = mapping.get(symbol)
+        if bound is None and local is not None:
+            bound = local.get(symbol)
+        if bound is None:
+            if local is None:
+                local = {}
+            local[symbol] = target_symbol
+        elif bound != target_symbol:
+            return False
+    return True
 
 
 def _iter_maps(
@@ -64,54 +120,90 @@ def _iter_maps(
     target: Template,
     preserve_distinguished: bool,
 ) -> Iterator[SymbolMap]:
-    """Backtracking search over symbol maps sending source rows onto target rows."""
+    """Search over symbol maps sending source rows onto target rows.
 
-    rows = sorted(
-        source.rows,
-        key=lambda row: (len(_candidate_rows(row, target, preserve_distinguished)), str(row)),
-    )
-    candidate_lists = [_candidate_rows(row, target, preserve_distinguished) for row in rows]
-    if any(not candidates for candidates in candidate_lists):
+    Indexed and iterative: candidate images per source row come from the
+    target's ``(tag, distinguished-column pattern)`` index; at every step
+    the most constrained unassigned row (fewest images consistent with the
+    partial symbol map) is assigned next, and a branch is abandoned as soon
+    as forward checking finds any unassigned row without a consistent
+    image.  The set of yielded maps — one per complete consistent
+    assignment of rows to images — is identical to the seed engine's.
+    """
+
+    index = target_index(target)
+    rows = list(source.rows)
+    base_candidates = {
+        row: index.candidates(row, preserve_distinguished) for row in rows
+    }
+    if any(not candidates for candidates in base_candidates.values()):
         return
 
-    def extend(mapping: SymbolMap, row: TaggedTuple, image: TaggedTuple) -> Optional[SymbolMap]:
-        extension: SymbolMap = {}
-        for attr, symbol in row.items():
-            target_symbol = image.value(attr)
-            if preserve_distinguished and symbol.is_distinguished:
-                if not target_symbol.is_distinguished:
-                    return None
-                continue
-            bound = mapping.get(symbol, extension.get(symbol))
-            if bound is None:
-                extension[symbol] = target_symbol
-            elif bound != target_symbol:
+    def expand(
+        remaining: frozenset, mapping: SymbolMap
+    ) -> Optional[PyTuple[frozenset, Iterator[SymbolMap]]]:
+        """Pick the most constrained row; ``None`` when a row has no image.
+
+        The forward-checking scan only *counts* consistent images (cheap
+        boolean checks); extended symbol maps are materialised solely for
+        the chosen row's branches.
+        """
+
+        best_row = None
+        best_count = -1
+        for row in remaining:
+            count = 0
+            for image in base_candidates[row]:
+                if _consistent(mapping, row, image, preserve_distinguished):
+                    count += 1
+            if count == 0:
                 return None
-        merged = dict(mapping)
-        merged.update(extension)
-        return merged
+            if best_count < 0 or count < best_count:
+                best_row, best_count = row, count
+        assert best_row is not None
+        branches = [
+            merged
+            for image in base_candidates[best_row]
+            for merged in (_extend(mapping, best_row, image, preserve_distinguished),)
+            if merged is not None
+        ]
+        return remaining - {best_row}, iter(branches)
 
-    def search(index: int, mapping: SymbolMap) -> Iterator[SymbolMap]:
-        if index == len(rows):
-            yield mapping
-            return
-        row = rows[index]
-        for image in candidate_lists[index]:
-            extended = extend(mapping, row, image)
-            if extended is not None:
-                yield from search(index + 1, extended)
-
-    yield from search(0, {})
+    if not rows:
+        yield {}
+        return
+    root = expand(frozenset(rows), {})
+    if root is None:
+        return
+    stack: List[PyTuple[frozenset, Iterator[SymbolMap]]] = [root]
+    while stack:
+        remaining, branches = stack[-1]
+        descended = False
+        for mapping in branches:
+            if not remaining:
+                yield mapping
+                continue
+            child = expand(remaining, mapping)
+            if child is not None:
+                stack.append(child)
+                descended = True
+                break
+        if not descended:
+            stack.pop()
 
 
 def _complete_map(mapping: SymbolMap, source: Template) -> SymbolMap:
-    """Extend a partial map with the identity on distinguished symbols of the source."""
+    """Extend a partial map with the identity on distinguished symbols.
+
+    The search binds every nondistinguished symbol (each occurs in some
+    mapped row) but deliberately skips distinguished ones — a homomorphism
+    fixes them, so they are completed here with the identity, making the
+    yielded maps total on the source's symbols.
+    """
 
     completed = dict(mapping)
     for symbol in source.symbols():
         if symbol.is_distinguished:
-            completed.setdefault(symbol, symbol)
-        else:
             completed.setdefault(symbol, symbol)
     return completed
 
@@ -135,10 +227,45 @@ def find_homomorphism(source: Template, target: Template) -> Optional[SymbolMap]
     return None
 
 
-def has_homomorphism(source: Template, target: Template) -> bool:
-    """Whether a homomorphism from ``source`` to ``target`` exists."""
+def _has_homomorphism_uncached(source: Template, target: Template) -> bool:
+    for _ in _iter_maps(source, target, preserve_distinguished=True):
+        return True
+    return False
 
-    return find_homomorphism(source, target) is not None
+
+def has_homomorphism(source: Template, target: Template) -> bool:
+    """Whether a homomorphism from ``source`` to ``target`` exists.
+
+    Memoised in two tiers.  Every pair is keyed exactly by the (hashable,
+    immutable) templates themselves — repeated identical subproblems, the
+    bulk of what ``reduce_template`` and the construction search issue, are
+    answered by one dictionary probe.  Pairs with at least
+    ``_SIGNATURE_MIN_ROWS`` combined rows are additionally keyed by their
+    canonical signatures (see :mod:`repro.perf.signature`), so
+    renaming-equivalent variants of the expensive searches — substitution
+    mints fresh marked symbols on every call — share one entry too.
+    """
+
+    if not caches_enabled():
+        return _has_homomorphism_uncached(source, target)
+    exact_key = (source, target)
+    found, cached = _HOM_CACHE.lookup(exact_key)
+    if found:
+        return cached
+    signature_key = None
+    if len(source) + len(target) >= _SIGNATURE_MIN_ROWS:
+        from repro.perf.signature import canonical_key
+
+        signature_key = (canonical_key(source), canonical_key(target))
+        found, cached = _HOM_CACHE.lookup(signature_key)
+        if found:
+            _HOM_CACHE.put(exact_key, cached)
+            return cached
+    result = _has_homomorphism_uncached(source, target)
+    _HOM_CACHE.put(exact_key, result)
+    if signature_key is not None:
+        _HOM_CACHE.put(signature_key, result)
+    return result
 
 
 def template_contained_in(smaller: Template, larger: Template) -> bool:

@@ -19,11 +19,14 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional
 
+from repro.perf.cache import LRUCache, caches_enabled
 from repro.templates.homomorphism import has_homomorphism
 from repro.templates.tagged_tuple import TaggedTuple
 from repro.templates.template import Template
 
 __all__ = ["reduce_template", "is_reduced"]
+
+_REDUCE_CACHE = LRUCache("reduction.reduce_template", maxsize=8192)
 
 
 def _droppable(template: Template, row: TaggedTuple) -> Optional[Template]:
@@ -46,20 +49,48 @@ def _droppable(template: Template, row: TaggedTuple) -> Optional[Template]:
     return None
 
 
-def reduce_template(template: Template) -> Template:
-    """An equivalent reduced sub-template of ``template`` (Proposition 2.4.4)."""
+def _reduce_single_pass(template: Template) -> Template:
+    """One continuing scan over the rows, dropping as it goes.
+
+    Droppability is monotone along the computation: if ``row`` cannot be
+    dropped from the current template, it cannot become droppable after
+    further rows are removed (a homomorphism of the smaller template into
+    itself-minus-``row`` composes with the drop homomorphisms into one from
+    the larger template, and a row that is the sole carrier of a tag or of
+    a distinguished column stays so when other rows leave).  A single scan
+    therefore reaches the core — no restart needed.
+    """
 
     current = template
-    changed = True
-    while changed:
-        changed = False
-        for row in current.sorted_rows():
-            candidate = _droppable(current, row)
-            if candidate is not None:
-                current = candidate
-                changed = True
-                break
+    for row in template.sorted_rows():
+        if len(current) == 1:
+            break
+        if row not in current.rows:
+            continue
+        candidate = _droppable(current, row)
+        if candidate is not None:
+            current = candidate
     return current
+
+
+def reduce_template(template: Template) -> Template:
+    """An equivalent reduced sub-template of ``template`` (Proposition 2.4.4).
+
+    Memoised by template: the construction search reduces the same goal and
+    generator templates on every membership question a dominance check asks.
+    """
+
+    if not caches_enabled():
+        return _reduce_single_pass(template)
+    found, cached = _REDUCE_CACHE.lookup(template)
+    if found:
+        return cached
+    result = _reduce_single_pass(template)
+    _REDUCE_CACHE.put(template, result)
+    if result is not template:
+        # The core of a core is itself; seed the fixpoint entry.
+        _REDUCE_CACHE.put(result, result)
+    return result
 
 
 def is_reduced(template: Template) -> bool:

@@ -35,7 +35,13 @@ from repro.templates.embedding import evaluate_template
 from repro.templates.tagged_tuple import TaggedTuple
 from repro.templates.template import Template, atomic_template
 
-__all__ = ["TemplateAssignment", "SubstitutionResult", "substitute", "apply_assignment"]
+__all__ = [
+    "TemplateAssignment",
+    "SubstitutionResult",
+    "substitute",
+    "substituted_block",
+    "apply_assignment",
+]
 
 
 class TemplateAssignment:
@@ -150,6 +156,19 @@ def _substitute_row(
         else:
             replacements[symbol] = MarkedSymbol(symbol.attribute, source, symbol)
     return {row.replace_symbols(replacements): row for row in assigned.rows}
+
+
+def substituted_block(source: TaggedTuple, assigned: Template) -> FrozenSet[TaggedTuple]:
+    """The rows of the block ``<(t, eta), beta(eta)>`` for one source row.
+
+    Substitution is row-local — the block of ``tau`` depends only on ``tau``
+    and ``beta(eta)``, never on the other rows of the outer template — so
+    the construction search precomputes each candidate row's block once and
+    assembles substituted templates of candidate subsets by union instead
+    of re-running :func:`substitute` per subset.
+    """
+
+    return frozenset(_substitute_row(source, assigned))
 
 
 def substitute(template: Template, assignment: TemplateAssignment) -> SubstitutionResult:

@@ -25,7 +25,7 @@ __all__ = ["TaggedTuple"]
 class TaggedTuple:
     """A tuple over ``R(eta)`` tagged with the relation name ``eta``."""
 
-    __slots__ = ("_tuple", "_name", "_hash")
+    __slots__ = ("_tuple", "_name", "_hash", "_symbols", "_dist_attrs", "_str")
 
     def __init__(self, values: Mapping[Attribute, Symbol], name: RelationName) -> None:
         if not isinstance(name, RelationName):
@@ -39,6 +39,16 @@ class TaggedTuple:
         object.__setattr__(self, "_tuple", tup)
         object.__setattr__(self, "_name", name)
         object.__setattr__(self, "_hash", hash((tup, name)))
+        # Tagged tuples are immutable and their symbol/distinguished-column
+        # views sit on the hot paths of the homomorphism index and the
+        # cover-guided construction search — precompute them once.
+        object.__setattr__(self, "_symbols", frozenset(tup.symbols()))
+        object.__setattr__(
+            self,
+            "_dist_attrs",
+            frozenset(attr for attr, sym in tup.items() if sym.is_distinguished),
+        )
+        object.__setattr__(self, "_str", None)
 
     @classmethod
     def from_tuple(cls, tup: Tuple, name: RelationName) -> "TaggedTuple":
@@ -85,22 +95,22 @@ class TaggedTuple:
     def symbols(self) -> FrozenSet[Symbol]:
         """The set of symbols occurring in the tagged tuple."""
 
-        return frozenset(self._tuple.symbols())
+        return self._symbols
 
     def nondistinguished_symbols(self) -> FrozenSet[Symbol]:
         """The nondistinguished symbols occurring in the tagged tuple."""
 
-        return frozenset(s for s in self._tuple.symbols() if not s.is_distinguished)
+        return frozenset(s for s in self._symbols if not s.is_distinguished)
 
     def distinguished_attributes(self) -> FrozenSet[Attribute]:
         """The attributes at which the tagged tuple carries ``0_A``."""
 
-        return frozenset(attr for attr, sym in self._tuple.items() if sym.is_distinguished)
+        return self._dist_attrs
 
     def is_all_distinguished(self) -> bool:
         """Whether every position carries the distinguished symbol."""
 
-        return all(sym.is_distinguished for sym in self._tuple.symbols())
+        return all(sym.is_distinguished for sym in self._symbols)
 
     def replace_symbols(self, mapping: Mapping[Symbol, Symbol]) -> "TaggedTuple":
         """A tagged tuple with every symbol rewritten through ``mapping``."""
@@ -127,8 +137,14 @@ class TaggedTuple:
         return self._hash
 
     def __str__(self) -> str:
-        cells = ", ".join(f"{attr.name}={sym}" for attr, sym in self._tuple.items())
-        return f"<({cells}), {self._name.name}>"
+        rendered = self._str
+        if rendered is None:
+            cells = ", ".join(f"{attr.name}={sym}" for attr, sym in self._tuple.items())
+            rendered = f"<({cells}), {self._name.name}>"
+            # Row strings are sort keys throughout the deterministic search
+            # orders; cache the rendering (immutability makes this safe).
+            object.__setattr__(self, "_str", rendered)
+        return rendered
 
     def __repr__(self) -> str:
         return f"TaggedTuple({self._tuple!r}, {self._name!r})"

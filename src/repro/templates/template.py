@@ -41,7 +41,7 @@ __all__ = ["Template", "atomic_template"]
 class Template:
     """A multirelational template: a finite nonempty set of tagged tuples."""
 
-    __slots__ = ("_rows", "_trs", "_names", "_hash")
+    __slots__ = ("_rows", "_trs", "_names", "_hash", "_sorted", "_symbols")
 
     def __init__(self, rows: Iterable[TaggedTuple]) -> None:
         row_set = frozenset(rows)
@@ -64,6 +64,8 @@ class Template:
         object.__setattr__(self, "_trs", RelationScheme(trs_attrs))
         object.__setattr__(self, "_names", frozenset(names))
         object.__setattr__(self, "_hash", hash(row_set))
+        object.__setattr__(self, "_sorted", None)
+        object.__setattr__(self, "_symbols", None)
 
     # ------------------------------------------------------------------ basic
     @property
@@ -95,15 +97,25 @@ class Template:
     def sorted_rows(self) -> List[TaggedTuple]:
         """The rows in a deterministic (display) order."""
 
-        return sorted(self._rows, key=lambda row: (row.name.name, str(row)))
+        ordered = self._sorted
+        if ordered is None:
+            ordered = tuple(
+                sorted(self._rows, key=lambda row: (row.name.name, str(row)))
+            )
+            object.__setattr__(self, "_sorted", ordered)
+        return list(ordered)
 
     def symbols(self) -> FrozenSet[Symbol]:
         """Every symbol occurring in the template."""
 
-        found: Set[Symbol] = set()
-        for row in self._rows:
-            found.update(row.symbols())
-        return frozenset(found)
+        found = self._symbols
+        if found is None:
+            collected: Set[Symbol] = set()
+            for row in self._rows:
+                collected.update(row.symbols())
+            found = frozenset(collected)
+            object.__setattr__(self, "_symbols", found)
+        return found
 
     def nondistinguished_symbols(self) -> FrozenSet[Symbol]:
         """Every nondistinguished symbol occurring in the template."""

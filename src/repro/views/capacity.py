@@ -30,11 +30,12 @@ __all__ = ["QueryCapacity"]
 class QueryCapacity:
     """The query capacity ``Cap(V)`` of a view, represented by its generators."""
 
-    __slots__ = ("_view", "_limits")
+    __slots__ = ("_view", "_limits", "_generators")
 
     def __init__(self, view: View, limits: SearchLimits = SearchLimits()) -> None:
         object.__setattr__(self, "_view", view)
         object.__setattr__(self, "_limits", limits)
+        object.__setattr__(self, "_generators", None)
 
     @property
     def view(self) -> View:
@@ -49,9 +50,17 @@ class QueryCapacity:
         return self._view.underlying_schema
 
     def generators(self) -> Dict[RelationName, Template]:
-        """The defining templates, keyed by view name (the capacity's generators)."""
+        """The defining templates, keyed by view name (the capacity's generators).
 
-        return self._view.defining_templates()
+        Computed once per capacity object: a dominance check asks one
+        membership question per defining query of the other view, and every
+        question shares this mapping (and therefore the downstream
+        construction-memo key built from it).
+        """
+
+        if self._generators is None:
+            object.__setattr__(self, "_generators", self._view.defining_templates())
+        return dict(self._generators)
 
     def generator_queries(self) -> PyTuple[Expression, ...]:
         """The defining queries whose closure the capacity is (Theorem 1.5.2)."""

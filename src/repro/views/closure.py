@@ -34,17 +34,28 @@ against the paper-faithful baseline on small instances.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+    Union,
+)
 
 from repro.exceptions import CapacityError, NotAnExpressionTemplateError
+from repro.perf.cache import LRUCache, caches_enabled
 from repro.relalg.ast import Expression
 from repro.relational.schema import RelationName
 from repro.templates.from_expression import template_from_expression
 from repro.templates.homomorphism import has_homomorphism, iter_foldings, templates_equivalent
 from repro.templates.reduction import reduce_template
-from repro.templates.substitution import SubstitutionResult, TemplateAssignment, substitute
+from repro.templates.substitution import TemplateAssignment, substituted_block
 from repro.templates.tagged_tuple import TaggedTuple
 from repro.templates.template import Template
 from repro.templates.to_expression import expression_from_template
@@ -61,13 +72,29 @@ __all__ = [
 ]
 
 
+_AS_TEMPLATE_CACHE = LRUCache("closure.as_template", maxsize=4096)
+
+
 def as_template(query: Union[Expression, Template]) -> Template:
-    """Coerce a query given as an expression or template into a template."""
+    """Coerce a query given as an expression or template into a template.
+
+    Expression translations (Algorithm 2.1.1) are memoised: the redundancy
+    and simplification loops re-coerce the same defining queries on every
+    sweep, and handing back the identical template object also lets every
+    downstream memo table key on it cheaply.
+    """
 
     if isinstance(query, Template):
         return query
     if isinstance(query, Expression):
-        return template_from_expression(query)
+        if not caches_enabled():
+            return template_from_expression(query)
+        found, cached = _AS_TEMPLATE_CACHE.lookup(query)
+        if found:
+            return cached
+        template = template_from_expression(query)
+        _AS_TEMPLATE_CACHE.put(query, template)
+        return template
     raise CapacityError(f"expected an Expression or Template, got {query!r}")
 
 
@@ -96,14 +123,21 @@ class SearchLimits:
     ``max_rows``        — outer-template size cap (defaults to ``#rows(goal)``,
                           the Lemma 2.4.8 bound).
     ``max_candidates``  — cap on candidate rows taken from foldings.
-    ``max_subsets``     — cap on candidate subsets examined.  The default keeps
-                          individual membership decisions interactive; raise it
-                          for exhaustive runs on large hand-written views.
+    ``max_subsets``     — cap on candidate subsets *tried*.  The search
+                          enumerates only subsets whose distinguished columns
+                          cover the goal's target scheme (cover-guided
+                          enumeration), so every unit of this budget is spent
+                          on a subset that could actually succeed.  The
+                          default keeps individual membership decisions
+                          interactive; raise it for exhaustive runs on large
+                          hand-written views.
     """
 
     max_rows: Optional[int] = None
     max_candidates: int = 48
     max_subsets: int = 20_000
+
+_CONSTRUCTION_CACHE = LRUCache("closure.find_construction", maxsize=4096)
 
 
 @dataclass(frozen=True)
@@ -176,19 +210,65 @@ def _covers_target(rows: Iterable[TaggedTuple], goal: Template) -> bool:
     return covered >= set(goal.target_scheme.attributes)
 
 
+def _covering_subsets(
+    attr_sets: Sequence[FrozenSet[Attribute]],
+    target_attrs: FrozenSet[Attribute],
+    max_rows: int,
+) -> Iterator[PyTuple[int, ...]]:
+    """Index tuples of candidate subsets whose distinguished columns cover the goal.
+
+    Enumeration is size-ascending and, within a size, lexicographic in the
+    candidate order — the order ``itertools.combinations`` would produce —
+    but prunes whole branches that cannot cover ``target_attrs`` anymore:
+    suffix unions of the remaining candidates shrink monotonically, so as
+    soon as the current cover plus everything still available falls short,
+    no later sibling can help either.
+    """
+
+    n = len(attr_sets)
+    suffix: List[FrozenSet[Attribute]] = [frozenset()] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] | attr_sets[i]
+    if not suffix[0] >= target_attrs:
+        return
+
+    def descend(
+        start: int, chosen: List[int], covered: FrozenSet[Attribute], size: int
+    ) -> Iterator[PyTuple[int, ...]]:
+        if len(chosen) == size:
+            if covered >= target_attrs:
+                yield tuple(chosen)
+            return
+        need = size - len(chosen)
+        for i in range(start, n - need + 1):
+            if not covered | suffix[i] >= target_attrs:
+                break
+            chosen.append(i)
+            yield from descend(i + 1, chosen, covered | attr_sets[i], size)
+            chosen.pop()
+
+    for size in range(1, max_rows + 1):
+        yield from descend(0, [], frozenset(), size)
+
+
 def _try_subset(
     rows: PyTuple[TaggedTuple, ...],
+    blocks: Mapping[TaggedTuple, FrozenSet[TaggedTuple]],
     assignment: TemplateAssignment,
     goal: Template,
     require_expression: bool,
 ) -> Optional[Construction]:
-    """Check one candidate subset; return a construction when it realises the goal."""
+    """Check one candidate subset; return a construction when it realises the goal.
 
-    if not _covers_target(rows, goal):
-        return None
-    outer = Template(rows)
-    substitution = substitute(outer, assignment)
-    substituted = substitution.template
+    ``blocks`` holds each candidate row's precomputed substitution block
+    (substitution is row-local), so the substituted template of the subset
+    is just the union of its rows' blocks.
+    """
+
+    substituted_rows: set = set()
+    for row in rows:
+        substituted_rows.update(blocks[row])
+    substituted = Template(substituted_rows)
     if substituted.target_scheme != goal.target_scheme:
         return None
     if substituted.relation_names != goal.relation_names:
@@ -198,6 +278,7 @@ def _try_subset(
     # the candidate rows (every block folds back into the goal).
     if not has_homomorphism(goal, substituted):
         return None
+    outer = Template(rows)
     rewriting: Optional[Expression] = None
     if require_expression:
         try:
@@ -212,6 +293,58 @@ def _try_subset(
     )
 
 
+def _search_constructions(
+    generators: Mapping[RelationName, Template],
+    goal_template: Template,
+    limits: SearchLimits,
+    require_expression: bool,
+) -> Iterator[Construction]:
+    """The shared cover-guided search behind find/iter_constructions.
+
+    ``goal_template`` must already be reduced.
+    """
+
+    candidates = _candidate_rows(generators, goal_template, limits.max_candidates)
+    if not candidates:
+        return
+
+    assignment = TemplateAssignment(
+        {name: template for name, template in generators.items()}
+    )
+    blocks = {
+        row: substituted_block(row, assignment.template_for(row.name))
+        for row in candidates
+    }
+    attr_sets = [row.distinguished_attributes() for row in candidates]
+    target_attrs = frozenset(goal_template.target_scheme.attributes)
+
+    # Early negative exit: soundness is monotone in the candidate set, so if
+    # even the full candidate set is unsound no subset can succeed.
+    if _covers_target(candidates, goal_template):
+        full_rows: set = set()
+        for block in blocks.values():
+            full_rows.update(block)
+        if not has_homomorphism(goal_template, Template(full_rows)):
+            return
+    else:
+        return
+
+    max_rows = limits.max_rows if limits.max_rows is not None else len(goal_template)
+    max_rows = max(1, min(max_rows, len(candidates)))
+
+    tried = 0
+    for indices in _covering_subsets(attr_sets, target_attrs, max_rows):
+        tried += 1
+        if tried > limits.max_subsets:
+            return
+        subset = tuple(candidates[i] for i in indices)
+        construction = _try_subset(
+            subset, blocks, assignment, goal_template, require_expression
+        )
+        if construction is not None:
+            yield construction
+
+
 def find_construction(
     generators: Mapping[RelationName, Template],
     goal: Union[Expression, Template],
@@ -224,41 +357,34 @@ def find_construction(
     With ``require_expression=False`` the outer template is allowed to be an
     arbitrary template (useful for diagnostics); the paper's notion of
     construction requires an expression template, which is the default.
+
+    Results (including negative ones) are memoised on the exact
+    ``(generators, goal, limits)`` triple.  Both directions of a
+    ``dominates``/``views_equivalent`` check, repeated redundancy sweeps
+    and multi-scenario traffic over the same view all share this table.
     """
 
-    goal_template = reduce_template(as_template(goal))
-    candidates = _candidate_rows(generators, goal_template, limits.max_candidates)
-    if not candidates:
-        return None
-
-    assignment = TemplateAssignment(
-        {name: template for name, template in generators.items()}
+    goal_template = as_template(goal)
+    key = None
+    if caches_enabled():
+        key = (
+            frozenset(generators.items()),
+            goal_template,
+            limits,
+            require_expression,
+        )
+        found, cached = _CONSTRUCTION_CACHE.lookup(key)
+        if found:
+            return cached
+    result = next(
+        _search_constructions(
+            generators, reduce_template(goal_template), limits, require_expression
+        ),
+        None,
     )
-
-    # Early negative exit: soundness is monotone in the candidate set, so if
-    # even the full candidate set is unsound no subset can succeed.
-    if _covers_target(candidates, goal_template):
-        full = substitute(Template(candidates), assignment).template
-        if not has_homomorphism(goal_template, full):
-            return None
-    else:
-        return None
-
-    max_rows = limits.max_rows if limits.max_rows is not None else len(goal_template)
-    max_rows = max(1, min(max_rows, len(candidates)))
-
-    examined = 0
-    for size in range(1, max_rows + 1):
-        for combination in itertools.combinations(candidates, size):
-            examined += 1
-            if examined > limits.max_subsets:
-                return None
-            construction = _try_subset(
-                combination, assignment, goal_template, require_expression
-            )
-            if construction is not None:
-                return construction
-    return None
+    if key is not None:
+        _CONSTRUCTION_CACHE.put(key, result)
+    return result
 
 
 def iter_constructions(
@@ -275,25 +401,9 @@ def iter_constructions(
     """
 
     goal_template = reduce_template(as_template(goal))
-    candidates = _candidate_rows(generators, goal_template, limits.max_candidates)
-    if not candidates:
-        return
-    assignment = TemplateAssignment(
-        {name: template for name, template in generators.items()}
+    yield from _search_constructions(
+        generators, goal_template, limits, require_expression
     )
-    max_rows = limits.max_rows if limits.max_rows is not None else len(goal_template)
-    max_rows = max(1, min(max_rows, len(candidates)))
-    examined = 0
-    for size in range(1, max_rows + 1):
-        for combination in itertools.combinations(candidates, size):
-            examined += 1
-            if examined > limits.max_subsets:
-                return
-            construction = _try_subset(
-                combination, assignment, goal_template, require_expression
-            )
-            if construction is not None:
-                yield construction
 
 
 def closure_contains(

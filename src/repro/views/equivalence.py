@@ -71,8 +71,18 @@ def dominates(
 def views_equivalent(
     first: View, second: View, limits: SearchLimits = SearchLimits()
 ) -> bool:
-    """Whether the views have equal query capacity (Theorems 1.5.5 and 2.4.12)."""
+    """Whether the views have equal query capacity (Theorems 1.5.5 and 2.4.12).
 
+    Equal views are trivially equivalent and short-circuit the search.  The
+    two dominance directions otherwise share the global memo tables
+    (``closure.find_construction`` downwards), so the homomorphism and
+    reduction work of the forward direction is reused by the backward one —
+    and by any later check over the same views.
+    """
+
+    if first is second or first == second:
+        _check_same_underlying(first, second)
+        return True
     forward = dominates(first, second, limits)
     if not forward.holds:
         return False

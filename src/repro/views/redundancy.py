@@ -20,10 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple as PyTuple, Union
 
 from repro.relalg.ast import Expression
 from repro.relational.schema import RelationName
-from repro.templates.from_expression import template_from_expression
 from repro.templates.homomorphism import templates_equivalent
 from repro.templates.template import Template
-from repro.views.closure import SearchLimits, closure_contains, named_generators
+from repro.views.closure import (
+    SearchLimits,
+    as_template,
+    closure_contains,
+    named_generators,
+)
 from repro.views.view import View, ViewDefinition
 
 __all__ = [
@@ -41,10 +45,9 @@ Query = Union[Expression, Template]
 
 
 def _as_templates(queries: Sequence[Query]) -> List[Template]:
-    return [
-        query if isinstance(query, Template) else template_from_expression(query)
-        for query in queries
-    ]
+    # as_template memoises expression translations, so repeated sweeps over
+    # the same query set coerce to identical template objects.
+    return [as_template(query) for query in queries]
 
 
 def is_redundant_member(
@@ -58,9 +61,7 @@ def is_redundant_member(
     """
 
     templates = _as_templates(queries)
-    member_template = (
-        member if isinstance(member, Template) else template_from_expression(member)
-    )
+    member_template = as_template(member)
     rest = [t for t in templates if not templates_equivalent(t, member_template)]
     if not rest:
         return False
@@ -85,15 +86,21 @@ def nonredundant_query_set(
         if not any(templates_equivalent(template, templates[kept]) for kept in unique):
             unique.append(index)
 
+    # Redundancy is monotone in the generator set (closures of smaller sets
+    # are smaller), so a member found non-redundant stays non-redundant as
+    # later members are dropped: one continuing scan suffices, and the outer
+    # loop exists only to confirm the fixpoint (it can re-fire solely when a
+    # search-budget cap made an intermediate answer non-monotone).
     changed = True
     while changed and len(unique) > 1:
         changed = False
-        for position, index in enumerate(list(unique)):
+        for index in list(unique):
+            if len(unique) == 1:
+                break
             rest = [templates[other] for other in unique if other != index]
             if closure_contains(named_generators(rest), templates[index], limits):
-                unique.pop(position)
+                unique.remove(index)
                 changed = True
-                break
     return [queries[index] for index in unique]
 
 

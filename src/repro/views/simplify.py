@@ -27,10 +27,14 @@ from repro.exceptions import ViewError
 from repro.relalg.ast import Expression, Projection
 from repro.relalg.rewrites import normalize_expression
 from repro.relational.schema import RelationName, RelationScheme
-from repro.templates.from_expression import template_from_expression
 from repro.templates.homomorphism import templates_equivalent
 from repro.templates.template import Template
-from repro.views.closure import SearchLimits, closure_contains, named_generators
+from repro.views.closure import (
+    SearchLimits,
+    as_template,
+    closure_contains,
+    named_generators,
+)
 from repro.views.redundancy import nonredundant_query_set
 from repro.views.view import View, ViewDefinition
 
@@ -49,7 +53,9 @@ Query = Union[Expression, Template]
 
 
 def _as_template(query: Query) -> Template:
-    return query if isinstance(query, Template) else template_from_expression(query)
+    # Memoised coercion (see closure.as_template): the simplification loop
+    # re-coerces surviving members and their projections on every sweep.
+    return as_template(query)
 
 
 def _as_expression(query: Query) -> Expression:

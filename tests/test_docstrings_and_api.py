@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.workloads",
     "repro.catalog",
     "repro.baselines",
+    "repro.perf",
     "repro.cli",
     "repro.exceptions",
 ]

@@ -1,0 +1,342 @@
+"""Property-style tests for the indexed + memoized decision engine.
+
+The optimised hot paths (indexed homomorphism search, memoized reduction,
+cover-guided construction search — see PERFORMANCE.md) are cross-checked on
+randomly generated small templates against three independent references:
+
+* :func:`repro.templates.canonical.has_homomorphism_via_canonical` — the
+  chase-style evaluation oracle;
+* :mod:`repro.baselines.seed_engine` — the preserved pre-optimisation
+  implementations;
+* :mod:`repro.baselines.naive_capacity` — the paper's literal ``J_k``
+  enumeration.
+
+Every agreement test runs with the memo tables both enabled and disabled
+(the ``cache_mode`` fixture), so the cached and uncached paths are each
+held to the oracles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import naive_closure_contains
+from repro.baselines.seed_engine import (
+    seed_closure_contains,
+    seed_has_homomorphism,
+    seed_iter_foldings,
+    seed_iter_homomorphisms,
+    seed_reduce_template,
+)
+from repro.perf import (
+    LRUCache,
+    cache_stats,
+    caches_enabled,
+    clear_caches,
+    configure,
+    template_signature,
+)
+from repro.relational.attributes import Constant
+from repro.templates.canonical import has_homomorphism_via_canonical
+from repro.templates.from_expression import template_from_expression
+from repro.templates.homomorphism import (
+    has_homomorphism,
+    iter_foldings,
+    iter_homomorphisms,
+    templates_isomorphic,
+)
+from repro.templates.reduction import is_reduced, reduce_template
+from repro.templates.homomorphism import templates_equivalent
+from repro.views import closure_contains, dominates, named_generators
+from repro.workloads import SchemaSpec, random_expression, random_schema, random_view
+
+
+@pytest.fixture(params=["cached", "uncached"])
+def cache_mode(request):
+    """Run the test body with memo tables enabled and, separately, disabled.
+
+    The teardown restores whatever enablement state the session started
+    with, so running the suite under ``REPRO_PERF_CACHE=0`` keeps later
+    test files on the uncached paths.
+    """
+
+    previous = caches_enabled()
+    if request.param == "uncached":
+        configure(enabled=False)
+    else:
+        configure(enabled=True)
+        clear_caches()
+    yield request.param
+    configure(enabled=previous)
+    clear_caches()
+
+
+@pytest.fixture
+def cache_state_guard():
+    """Restore the global cache enablement state after a test body."""
+
+    previous = caches_enabled()
+    yield
+    configure(enabled=previous)
+    clear_caches()
+
+
+def _random_templates(seed, count=12, relations=2, arity=2, universe=4, max_atoms=3):
+    schema = random_schema(
+        SchemaSpec(relations=relations, arity=arity, universe_size=universe), seed=seed
+    )
+    templates = []
+    for index in range(count):
+        atoms = 1 + (index % max_atoms)
+        expression = random_expression(schema, atoms=atoms, seed=seed * 1000 + index)
+        templates.append(template_from_expression(expression))
+    return schema, templates
+
+
+class TestHomomorphismAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_indexed_search_matches_canonical_oracle_and_seed(self, cache_mode, seed):
+        _, templates = _random_templates(seed)
+        for i, source in enumerate(templates):
+            for target in templates[i:]:
+                expected = has_homomorphism_via_canonical(source, target)
+                assert has_homomorphism(source, target) == expected
+                assert seed_has_homomorphism(source, target) == expected
+
+    @pytest.mark.parametrize("seed", [6, 7, 8])
+    def test_solution_counts_match_seed_engine(self, cache_mode, seed):
+        # The MRV/forward-checking search must enumerate exactly the seed's
+        # solution set: one symbol map per consistent complete assignment.
+        _, templates = _random_templates(seed, count=6, max_atoms=2)
+        for source in templates[:3]:
+            for target in templates[3:]:
+                ours = list(iter_homomorphisms(source, target))
+                seeds = list(seed_iter_homomorphisms(source, target))
+                assert len(ours) == len(seeds)
+                assert {tuple(sorted((str(k), str(v)) for k, v in m.items())) for m in ours} == {
+                    tuple(sorted((str(k), str(v)) for k, v in m.items())) for m in seeds
+                }
+                assert len(list(iter_foldings(source, target))) == len(
+                    list(seed_iter_foldings(source, target))
+                )
+
+    def test_homomorphisms_fix_distinguished_symbols(self, cache_mode):
+        _, templates = _random_templates(9, count=6)
+        for source in templates[:3]:
+            for target in templates[3:]:
+                for mapping in iter_homomorphisms(source, target):
+                    for symbol in source.symbols():
+                        assert symbol in mapping
+                        if symbol.is_distinguished:
+                            assert mapping[symbol] == symbol
+
+
+class TestReductionAgreement:
+    @pytest.mark.parametrize("seed", [11, 12, 13, 14])
+    def test_reduction_is_a_core_and_matches_seed(self, cache_mode, seed):
+        _, templates = _random_templates(seed, max_atoms=4)
+        for template in templates:
+            reduced = reduce_template(template)
+            assert is_reduced(reduced)
+            assert templates_equivalent(template, reduced)
+            assert reduced.rows <= template.rows
+            # Cores are unique up to isomorphism.
+            assert len(reduced) == len(seed_reduce_template(template))
+
+
+class TestMembershipAgreement:
+    CASES = [
+        ("pi{A}(q)", ["pi{A,B}(q)"]),
+        ("pi{A,B}(q) & pi{B,C}(q)", ["pi{A,B}(q)", "pi{B,C}(q)"]),
+        ("pi{A,C}(q)", ["pi{A,B}(q)", "pi{B,C}(q)"]),
+        ("q", ["pi{A,B}(q)", "pi{B,C}(q)"]),
+    ]
+
+    @pytest.mark.parametrize("goal_text,generator_texts", CASES)
+    def test_agrees_with_naive_enumeration(
+        self, cache_mode, q_schema, goal_text, generator_texts
+    ):
+        from repro.relalg import parse_expression
+
+        goal = parse_expression(goal_text, q_schema)
+        generators = [parse_expression(text, q_schema) for text in generator_texts]
+        assert closure_contains(generators, goal) == naive_closure_contains(
+            generators, goal
+        )
+
+    @pytest.mark.parametrize("seed", [51, 52, 53])
+    def test_agrees_with_naive_enumeration_on_random_instances(self, cache_mode, seed):
+        from repro.baselines import NaiveSearchLimits
+
+        schema, templates = _random_templates(
+            seed, count=4, relations=2, arity=2, universe=3, max_atoms=2
+        )
+        generators = named_generators(templates[:2])
+        limits = NaiveSearchLimits(max_templates=500_000)
+        for goal in templates[2:]:
+            assert closure_contains(generators, goal) == naive_closure_contains(
+                generators, goal, limits
+            )
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_agrees_with_seed_search_on_random_instances(self, cache_mode, seed):
+        schema, templates = _random_templates(seed, count=8, max_atoms=2)
+        generators = named_generators(templates[:3])
+        for goal in templates[3:]:
+            assert closure_contains(generators, goal) == seed_closure_contains(
+                generators, goal
+            )
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_dominance_agrees_with_seed_engine(self, cache_mode, seed):
+        from repro.baselines.seed_engine import seed_dominates
+
+        schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=seed)
+        first = random_view(schema, members=2, atoms_per_query=2, seed=seed)
+        second = random_view(schema, members=2, atoms_per_query=2, seed=seed + 100)
+        for dominating, dominated in [(first, second), (second, first), (first, first)]:
+            assert (
+                dominates(dominating, dominated).holds
+                == seed_dominates(dominating, dominated)
+            )
+
+
+class TestCanonicalSignatures:
+    def test_signature_invariant_under_symbol_renaming(self, rs_schema):
+        from repro.relalg import parse_expression
+
+        template = template_from_expression(
+            parse_expression("pi{A,C}(R & S & pi{B}(R))", rs_schema)
+        )
+        renaming = {
+            symbol: Constant(symbol.attribute, ("renamed", index))
+            for index, symbol in enumerate(sorted(template.nondistinguished_symbols(), key=str))
+        }
+        renamed = template.replace_symbols(renaming)
+        assert template != renamed
+        assert template_signature(template) == template_signature(renamed)
+
+    def test_equal_signatures_imply_isomorphism(self, cache_mode):
+        _, templates = _random_templates(41, count=10, max_atoms=3)
+        for i, first in enumerate(templates):
+            for second in templates[i + 1 :]:
+                first_sig = template_signature(first)
+                second_sig = template_signature(second)
+                if first_sig is None or second_sig is None:
+                    # Budget overflow carries no information either way.
+                    continue
+                if first_sig == second_sig:
+                    assert templates_isomorphic(first, second)
+                else:
+                    assert not templates_isomorphic(first, second)
+
+    def test_independently_generated_equal_expressions_share_a_signature(self, rs_schema):
+        from repro.relalg import parse_expression
+
+        first = template_from_expression(parse_expression("R & S", rs_schema))
+        second = template_from_expression(parse_expression("R & S", rs_schema))
+        assert template_signature(first) == template_signature(second)
+
+    def test_signature_distinguishes_structure(self, rs_schema):
+        from repro.relalg import parse_expression
+
+        first = template_from_expression(parse_expression("R & S", rs_schema))
+        second = template_from_expression(parse_expression("pi{A,C}(R & S)", rs_schema))
+        assert template_signature(first) != template_signature(second)
+
+
+class TestCoverGuidedEnumeration:
+    def test_only_covering_subsets_are_enumerated(self, q_schema):
+        import itertools
+
+        from repro.relalg import parse_expression
+        from repro.views.closure import _covering_subsets, as_template
+
+        goal = as_template(parse_expression("q", q_schema))
+        target_attrs = frozenset(goal.target_scheme.attributes)
+        rows = sorted(goal.rows, key=str)
+        attr_sets = [row.distinguished_attributes() for row in rows]
+        enumerated = list(_covering_subsets(attr_sets, target_attrs, len(rows)))
+        # Reference: a blind combinations sweep filtered by the cover test.
+        expected = [
+            indices
+            for size in range(1, len(rows) + 1)
+            for indices in itertools.combinations(range(len(rows)), size)
+            if frozenset().union(*(attr_sets[i] for i in indices)) >= target_attrs
+        ]
+        assert enumerated == expected
+
+    def test_uncoverable_goal_enumerates_nothing(self, q_schema):
+        from repro.relalg import parse_expression
+        from repro.views.closure import _covering_subsets, as_template
+
+        goal = as_template(parse_expression("q", q_schema))
+        target_attrs = frozenset(goal.target_scheme.attributes)
+        # Candidate rows that only ever cover A can never reach {A, B, C}.
+        partial = [frozenset(list(target_attrs)[:1])] * 3
+        assert list(_covering_subsets(partial, target_attrs, 3)) == []
+
+
+class TestMemoTables:
+    def test_lru_eviction_and_stats(self):
+        cache = LRUCache("test.tmp_eviction", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert len(cache) == 2
+        found, _ = cache.lookup("a")
+        assert not found
+        found, value = cache.lookup("b")
+        assert found and value == 2
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_lookup_refreshes_recency(self):
+        cache = LRUCache("test.tmp_recency", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.lookup("a")  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.lookup("a")[0]
+        assert not cache.lookup("b")[0]
+
+    def test_repeated_queries_hit_the_memo_tables(self, cache_state_guard, q_schema):
+        from repro.relalg import parse_expression
+
+        configure(enabled=True)
+        clear_caches()
+        generators = named_generators(
+            [
+                parse_expression("pi{A,B}(q)", q_schema),
+                parse_expression("pi{B,C}(q)", q_schema),
+            ]
+        )
+        goal = parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema)
+        assert closure_contains(generators, goal)
+        cold = cache_stats()
+        assert closure_contains(generators, goal)
+        warm = cache_stats()
+        table = "closure.find_construction"
+        assert warm[table].hits > cold[table].hits
+        assert warm[table].hit_rate > 0.0
+
+    def test_configure_disables_and_reenables(self, cache_state_guard):
+        configure(enabled=False)
+        assert not caches_enabled()
+        configure(enabled=True)
+        assert caches_enabled()
+
+    def test_clear_caches_resets_counters(self, cache_state_guard, q_schema):
+        from repro.relalg import parse_expression
+
+        configure(enabled=True)
+        generators = named_generators([parse_expression("pi{A,B}(q)", q_schema)])
+        closure_contains(generators, parse_expression("pi{A}(q)", q_schema))
+        clear_caches()
+        for stats in cache_stats().values():
+            assert stats.hits == 0
+            assert stats.misses == 0
+            assert stats.size == 0
