@@ -1,7 +1,10 @@
 """Lightweight timing harness: the machine-readable perf trajectory.
 
 Runs the scenarios of the ``bench_membership``, ``bench_equivalence`` and
-``bench_redundancy`` suites against both engines —
+``bench_redundancy`` suites — plus the PR-2 ``large_membership`` (cold-path
+scale-up: deep joins, scheme prechecks) and ``catalog`` (batched
+:class:`repro.engine.CatalogAnalyzer`: signature dedup, parallel fan-out)
+suites — against both engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -9,10 +12,13 @@ Runs the scenarios of the ``bench_membership``, ``bench_equivalence`` and
   (memo tables cleared before every run) and *warm* (tables primed, the
   steady state of multi-scenario traffic) —
 
-cross-checks that both engines agree on every answer, and writes
+cross-checks that both engines agree on every answer (for the catalog
+suite: that parallel matrices are bit-identical to serial), and writes
 ``BENCH_perf.json`` at the repository root: median wall-times, speedups
-over the seed, and memo-table hit rates.  Every PR from this one onward
-appends to that trajectory; CI runs ``--smoke`` to keep the file fresh.
+over the seed, parallel-vs-serial speedups with the machine's CPU count,
+and memo-table hit rates.  Every PR from this one onward appends to that
+trajectory; CI runs ``--smoke`` to keep the file fresh (the smoke set
+includes one large-instance cold scenario and one parallel lane).
 
 Usage::
 
@@ -37,9 +43,11 @@ if _SRC not in sys.path:
 
 from repro.baselines.seed_engine import (  # noqa: E402
     seed_closure_contains,
+    seed_dominates,
     seed_remove_redundancy_queries,
     seed_views_equivalent,
 )
+from repro.engine import CatalogAnalyzer  # noqa: E402
 from repro.perf import cache_stats, clear_caches  # noqa: E402
 from repro.relalg import parse_expression  # noqa: E402
 from repro.relational import DatabaseSchema, RelationName  # noqa: E402
@@ -53,11 +61,13 @@ from repro.views import (  # noqa: E402
 from repro.views.redundancy import nonredundant_query_set  # noqa: E402
 from repro.workloads import (  # noqa: E402
     SchemaSpec,
+    cold_membership_instance,
     equivalent_view_pair,
     perturbed_view,
     random_schema,
     random_view,
     redundant_view,
+    view_catalog,
 )
 
 DEFAULT_REPEATS = 7
@@ -138,7 +148,7 @@ def _tracked_cache_stats() -> Dict[str, Dict[str, object]]:
 
 
 # ------------------------------------------------------------------- suites
-def bench_membership(repeats: int) -> Dict[str, object]:
+def bench_membership(repeats: int, smoke: bool = False) -> Dict[str, object]:
     """Experiment E4 — capacity membership (Theorem 2.4.11)."""
 
     q_schema = DatabaseSchema([RelationName("q", "ABC")])
@@ -172,7 +182,7 @@ def bench_membership(repeats: int) -> Dict[str, object]:
     return suite
 
 
-def bench_equivalence(repeats: int) -> Dict[str, object]:
+def bench_equivalence(repeats: int, smoke: bool = False) -> Dict[str, object]:
     """Experiment E5 — view equivalence (Theorem 2.4.12)."""
 
     schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=17)
@@ -220,7 +230,7 @@ def bench_equivalence(repeats: int) -> Dict[str, object]:
     return suite
 
 
-def bench_redundancy(repeats: int) -> Dict[str, object]:
+def bench_redundancy(repeats: int, smoke: bool = False) -> Dict[str, object]:
     """Experiment E6 — redundancy elimination (Theorem 3.1.4)."""
 
     schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=5)
@@ -252,10 +262,146 @@ def bench_redundancy(repeats: int) -> Dict[str, object]:
     return suite
 
 
+def bench_large_membership(repeats: int, smoke: bool = False) -> Dict[str, object]:
+    """PR-2 cold-path scale-up — deep-join instances and scheme prechecks.
+
+    The bundled paper-scale scenarios are microscopic, so PR 1's cold runs
+    sat at parity.  These instances are where cold wins: goals of 12–14 join
+    atoms over 8-relation schemas.  The ``hopeless`` scenarios additionally
+    exercise :func:`repro.views.closure.construction_feasible` — every
+    generator projects away a goal target attribute, so the optimised engine
+    refutes membership from the schemes alone while the seed pays reduction
+    and folding enumeration first.
+    """
+
+    schema = random_schema(SchemaSpec(relations=8, arity=3, universe_size=10), seed=7)
+    specs = [
+        ("hopeless_deep12", dict(generator_count=5, generator_atoms=4, goal_atoms=12, hopeless=True), 1),
+        ("hopeless_deep12b", dict(generator_count=5, generator_atoms=4, goal_atoms=12, hopeless=True), 2),
+        ("hopeless_deep14", dict(generator_count=6, generator_atoms=4, goal_atoms=14, hopeless=True), 1),
+        ("hopeless_deep14b", dict(generator_count=6, generator_atoms=4, goal_atoms=14, hopeless=True), 2),
+        ("derivable_deep12", dict(generator_count=5, generator_atoms=4, goal_atoms=12, hopeless=False), 1),
+        ("derivable_deep10", dict(generator_count=4, generator_atoms=3, goal_atoms=10, hopeless=False), 1),
+    ]
+    if smoke:
+        # CI keeps large-instance cold scenarios of both flavours alive.
+        specs = [specs[0], specs[2], specs[4]]
+    scenarios = []
+    for name, kwargs, seed in specs:
+        generators, goal = cold_membership_instance(schema, seed=seed, **kwargs)
+        scenarios.append(
+            _time_scenario(
+                name,
+                lambda g=generators, q=goal: seed_closure_contains(g, q),
+                lambda g=generators, q=goal: closure_contains(g, q),
+                repeats,
+            )
+        )
+    suite = {"scenarios": scenarios, "cache": _tracked_cache_stats()}
+    suite.update(_suite_summary(scenarios))
+    return suite
+
+
+def bench_catalog(repeats: int, smoke: bool = False) -> Dict[str, object]:
+    """PR-2 batched catalog engine — signature dedup and parallel fan-out.
+
+    The dedup scenarios compare the full pairwise dominance matrix of an
+    N=16 catalog computed by the serial :class:`CatalogAnalyzer` (one
+    decision per signature-class representative pair, broadcast to the
+    class) against the seed engine deciding all ``N(N-1)`` pairs.  The
+    parallel lanes then re-run the same cold batched job with 4 workers and
+    record the honest wall-clock ratio next to the machine's CPU count —
+    on a single-CPU container the ratio is ~1x (thread) and <1x (process
+    startup); the lanes exist to verify bit-identical results and to let
+    multi-core machines record real scaling in the same trajectory.
+    """
+
+    schema = random_schema(SchemaSpec(relations=4, arity=2, universe_size=5), seed=11)
+    dedup_catalogs = {
+        "catalog16_4classes": view_catalog(
+            schema, classes=4, copies_per_class=4, members=2, atoms_per_query=2, seed=3
+        ),
+        "catalog16_2classes": view_catalog(
+            schema, classes=2, copies_per_class=8, members=2, atoms_per_query=2, seed=5
+        ),
+    }
+    if smoke:
+        dedup_catalogs.pop("catalog16_2classes")
+
+    def seed_matrix(catalog):
+        return {
+            (a, b): seed_dominates(catalog[a], catalog[b])
+            for a in sorted(catalog)
+            for b in sorted(catalog)
+            if a != b
+        }
+
+    scenarios = []
+    for name, catalog in dedup_catalogs.items():
+        scenarios.append(
+            _time_scenario(
+                name,
+                lambda c=catalog: seed_matrix(c),
+                lambda c=catalog: CatalogAnalyzer(c).dominance_matrix(),
+                repeats,
+            )
+        )
+
+    # Parallel lanes: engine-vs-engine on a 16-view catalog of *distinct*
+    # views (no dedup shortcut), cold each run, results cross-checked
+    # bit-identical to serial.
+    parallel_schema = random_schema(SchemaSpec(relations=5, arity=3, universe_size=7), seed=11)
+    parallel_catalog = view_catalog(
+        parallel_schema, classes=16, copies_per_class=1, members=2, atoms_per_query=3, seed=5
+    )
+    jobs = 4
+
+    def engine_run(n_jobs: int, executor: str):
+        return CatalogAnalyzer(
+            parallel_catalog, jobs=n_jobs, executor=executor
+        ).dominance_matrix()
+
+    clear_caches()
+    reference = engine_run(1, "thread")
+    serial_s = _median_seconds(lambda: engine_run(1, "thread"), repeats, clear=True)
+    executors = ["thread"] if smoke else ["thread", "process"]
+    parallel = []
+    for executor in executors:
+        clear_caches()
+        identical = engine_run(jobs, executor) == reference
+        parallel_s = _median_seconds(
+            lambda e=executor: engine_run(jobs, e), repeats, clear=True
+        )
+        parallel.append(
+            {
+                "name": f"catalog16_parallel_{executor}",
+                "views": len(parallel_catalog),
+                "jobs": jobs,
+                "executor": executor,
+                "cpus": os.cpu_count(),
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup_parallel": serial_s / max(parallel_s, 1e-9),
+                "identical_to_serial": identical,
+            }
+        )
+
+    suite = {
+        "scenarios": scenarios,
+        "parallel": parallel,
+        "cache": _tracked_cache_stats(),
+        "all_parallel_identical": all(p["identical_to_serial"] for p in parallel),
+    }
+    suite.update(_suite_summary(scenarios))
+    return suite
+
+
 SUITES = {
     "membership": bench_membership,
     "equivalence": bench_equivalence,
     "redundancy": bench_redundancy,
+    "large_membership": bench_large_membership,
+    "catalog": bench_catalog,
 }
 
 
@@ -264,7 +410,7 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
     for name, runner in SUITES.items():
         clear_caches()
         print(f"[bench] running suite: {name} (repeats={repeats})")
-        suites[name] = runner(repeats)
+        suites[name] = runner(repeats, smoke)
         summary = suites[name]
         print(
             f"[bench]   median speedup over seed: "
@@ -272,20 +418,34 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
             f"warm {summary['median_speedup_warm']:.1f}x, "
             f"agree={summary['all_agree']}"
         )
+        for lane in summary.get("parallel", ()):
+            print(
+                f"[bench]   parallel {lane['executor']} x{lane['jobs']} "
+                f"({lane['cpus']} cpu): {lane['speedup_parallel']:.2f}x vs serial, "
+                f"identical={lane['identical_to_serial']}"
+            )
+    summary_block = {}
+    for name in suites:
+        entry = {
+            "median_speedup_cold": suites[name]["median_speedup_cold"],
+            "median_speedup_warm": suites[name]["median_speedup_warm"],
+            "all_agree": suites[name]["all_agree"],
+        }
+        if "parallel" in suites[name]:
+            entry["parallel"] = {
+                lane["name"]: round(lane["speedup_parallel"], 3)
+                for lane in suites[name]["parallel"]
+            }
+            entry["all_parallel_identical"] = suites[name]["all_parallel_identical"]
+        summary_block[name] = entry
     report = {
-        "schema_version": 1,
+        "schema_version": 2,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
         "config": {"repeats": repeats, "smoke": smoke},
         "suites": suites,
-        "summary": {
-            name: {
-                "median_speedup_cold": suites[name]["median_speedup_cold"],
-                "median_speedup_warm": suites[name]["median_speedup_warm"],
-                "all_agree": suites[name]["all_agree"],
-            }
-            for name in suites
-        },
+        "summary": summary_block,
     }
     return report
 
@@ -310,6 +470,15 @@ def main(argv=None) -> int:
 
     if not all(entry["all_agree"] for entry in report["summary"].values()):
         print("[bench] ERROR: seed and optimised engines disagreed", file=sys.stderr)
+        return 1
+    if not all(
+        entry.get("all_parallel_identical", True)
+        for entry in report["summary"].values()
+    ):
+        print(
+            "[bench] ERROR: parallel catalog results were not bit-identical to serial",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

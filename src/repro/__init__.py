@@ -19,6 +19,7 @@ Typical entry points:
 """
 
 from repro.core import ViewAnalyzer, ViewAnalysisReport
+from repro.engine import CatalogAnalyzer, CatalogReport
 from repro.relational import (
     Attribute,
     DatabaseSchema,
@@ -74,6 +75,8 @@ __all__ = [
     "configure_perf",
     "ViewAnalyzer",
     "ViewAnalysisReport",
+    "CatalogAnalyzer",
+    "CatalogReport",
     "Attribute",
     "DatabaseSchema",
     "Instantiation",

@@ -7,6 +7,7 @@ exposes the paper's decision procedures to shell users::
     python -m repro.cli member   catalogue.txt ViewName "pi{A}(R & S)"
     python -m repro.cli equivalent catalogue.txt ViewA ViewB
     python -m repro.cli simplify catalogue.txt                 # emit normal forms
+    python -m repro.cli catalog-analyze catalogue.txt --jobs 4 # batched matrix
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no"),
@@ -21,9 +22,10 @@ from typing import List, Optional
 
 from repro.catalog import Catalog, parse_catalog, serialize_catalog
 from repro.core import ViewAnalyzer
+from repro.engine import CatalogAnalyzer
 from repro.exceptions import ReproError
 from repro.relalg import format_expression, parse_expression
-from repro.views import simplify_view, views_equivalent
+from repro.views import SearchLimits, simplify_view, views_equivalent
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +61,27 @@ def build_parser() -> argparse.ArgumentParser:
         "simplify", help="emit the catalogue with every view replaced by its normal form"
     )
     simplify.add_argument("catalogue", help="path to a catalogue file")
+
+    catalog_analyze = subparsers.add_parser(
+        "catalog-analyze",
+        help="batched analysis: pairwise dominance matrix and nonredundant core",
+    )
+    catalog_analyze.add_argument("catalogue", help="path to a catalogue file")
+    catalog_analyze.add_argument(
+        "--jobs", type=int, default=1, help="parallel workers for the pairwise decisions"
+    )
+    catalog_analyze.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker backend (process pays startup cost; pays off on cold multi-core runs)",
+    )
+    catalog_analyze.add_argument(
+        "--max-subsets",
+        type=int,
+        default=None,
+        help="shared SearchLimits.max_subsets for every batched decision",
+    )
 
     return parser
 
@@ -103,6 +126,31 @@ def _cmd_equivalent(catalog: Catalog, first_name: str, second_name: str, out) ->
     return 1
 
 
+def _cmd_catalog_analyze(
+    catalog: Catalog, jobs: int, executor: str, max_subsets: Optional[int], out
+) -> int:
+    limits = SearchLimits() if max_subsets is None else SearchLimits(max_subsets=max_subsets)
+    analyzer = CatalogAnalyzer(catalog, limits=limits, jobs=jobs, executor=executor)
+    report = analyzer.analyze()
+    print(f"catalog: {len(report.names)} views", file=out)
+    print(
+        f"decisions: {report.decided_pairs} decided, "
+        f"{report.broadcast_pairs} broadcast via signature classes",
+        file=out,
+    )
+    print("", file=out)
+    print("dominance matrix (row dominates column):", file=out)
+    for line in report.matrix_lines():
+        print(f"  {line}", file=out)
+    print("", file=out)
+    print("equivalence classes:", file=out)
+    for members in report.equivalence_classes:
+        print(f"  {{{', '.join(members)}}}", file=out)
+    print("", file=out)
+    print(f"nonredundant core: {', '.join(report.nonredundant_core)}", file=out)
+    return 0
+
+
 def _cmd_simplify(catalog: Catalog, out) -> int:
     simplified = {name: simplify_view(view) for name, view in catalog.views.items()}
     print(serialize_catalog(Catalog(schema=catalog.schema, views=simplified)), file=out, end="")
@@ -129,6 +177,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_equivalent(catalog, args.first, args.second, out)
         if args.command == "simplify":
             return _cmd_simplify(catalog, out)
+        if args.command == "catalog-analyze":
+            return _cmd_catalog_analyze(
+                catalog, args.jobs, args.executor, args.max_subsets, out
+            )
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=out)
         return 2

@@ -35,15 +35,45 @@ class ViewAnalyzer:
     Parameters
     ----------
     view:
-        The view to analyse.
+        The view to analyse.  May be omitted when ``capacity`` is given.
     limits:
-        Search limits handed to every capacity-membership decision.
+        Search limits handed to every capacity-membership decision.  Must be
+        omitted when ``capacity`` is given — the capacity's own limits are
+        adopted, so a batched caller (:class:`repro.engine.CatalogAnalyzer`)
+        can hand every per-view analyzer one shared limit object instead of
+        each analyzer minting its own.
+    capacity:
+        A prebuilt :class:`QueryCapacity` to analyse through.  Sharing the
+        capacity object also shares its cached generator mapping, which is
+        what keys the downstream construction memos.
     """
 
-    def __init__(self, view: View, limits: SearchLimits = SearchLimits()) -> None:
+    def __init__(
+        self,
+        view: Optional[View] = None,
+        limits: Optional[SearchLimits] = None,
+        *,
+        capacity: Optional[QueryCapacity] = None,
+    ) -> None:
+        if capacity is None:
+            if view is None:
+                raise TypeError("ViewAnalyzer needs a view or a capacity")
+            limits = limits if limits is not None else SearchLimits()
+            capacity = QueryCapacity(view, limits)
+        else:
+            if view is not None and view != capacity.view:
+                raise ValueError(
+                    "the given view differs from the given capacity's view"
+                )
+            if limits is not None and limits != capacity.limits:
+                raise ValueError(
+                    "pass limits either directly or via the capacity, not both"
+                )
+            view = capacity.view
+            limits = capacity.limits
         self._view = view
         self._limits = limits
-        self._capacity = QueryCapacity(view, limits)
+        self._capacity = capacity
 
     @property
     def view(self) -> View:

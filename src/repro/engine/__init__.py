@@ -1,0 +1,15 @@
+"""Batched catalog analysis: the N-view counterpart of :mod:`repro.core`.
+
+:class:`CatalogAnalyzer` answers a whole catalog's pairwise
+dominance/equivalence questions, redundancy elimination and per-view reports
+as one job — deduplicating work across capacity-equal views via canonical
+template signatures, honouring one shared
+:class:`~repro.views.closure.SearchLimits` object, fanning independent
+decisions over a thread or process pool, and updating incrementally when a
+view gains or loses a defining query.  See :mod:`repro.engine.catalog` for
+the design notes and :mod:`repro.engine.parallel` for the backends.
+"""
+
+from repro.engine.catalog import CatalogAnalyzer, CatalogReport, view_signature
+
+__all__ = ["CatalogAnalyzer", "CatalogReport", "view_signature"]

@@ -1,0 +1,482 @@
+"""The batched catalog engine: all pairwise view analyses as one job.
+
+The paper's setting is view *design*: a designer weighs many candidate views
+against each other, so the production workload is an N-view catalog with
+O(N²) dominance/equivalence questions plus per-view redundancy and normal
+form analyses.  Asking them through per-pair :class:`repro.core.ViewAnalyzer`
+calls repeats work N² times over; :class:`CatalogAnalyzer` computes the whole
+matrix as one batched job:
+
+* **Work dedup by signature class.**  Views whose (reduced) defining
+  templates have pairwise-equal canonical keys
+  (:func:`repro.perf.signature.canonical_key`) realise the same query
+  mappings and therefore have *equal capacities*: every dominance verdict of
+  a class representative broadcasts to the whole class, shrinking the O(N²)
+  decision matrix to O(C²) for C signature classes.
+* **One shared limit object.**  The analyzer builds one
+  :class:`~repro.views.capacity.QueryCapacity` per view from its single
+  :class:`~repro.views.closure.SearchLimits`, and every batched decision and
+  per-view report flows through those shared objects — no stray per-call
+  defaults.
+* **Parallel fan-out.**  The independent representative-pair decisions run
+  serially, on a thread pool over the lock-guarded memo tables, or on an
+  opt-in process pool for cold catalogs (see :mod:`repro.engine.parallel`).
+  Results are bit-identical across backends.
+* **Incremental updates.**  :meth:`CatalogAnalyzer.with_view` /
+  :meth:`CatalogAnalyzer.without_view` derive a new analyzer that keeps every
+  decision not involving the changed view and refreshes decisions *against*
+  a changed dominated view through
+  :func:`repro.views.equivalence.update_dominance`, which reuses the
+  per-query construction outcomes of the previous witness.
+
+Soundness note on dedup: equal canonical keys imply equal query mappings,
+so broadcasting is exact whenever the construction-search budgets
+(``SearchLimits``) do not truncate the search — the default budgets on
+catalog-scale views.  Under deliberately starved budgets the truncation
+point may depend on member names, so representatives are decided with the
+same shared limits the per-pair path would use and the test-suite
+cross-checks the bundled catalogs both ways.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+    Union,
+)
+
+from repro.catalog.dsl import Catalog, serialize_catalog
+from repro.core.analyzer import ViewAnalyzer
+from repro.core.report import ViewAnalysisReport
+from repro.engine.parallel import (
+    Pair,
+    PairOutcome,
+    pair_outcome,
+    run_pairs_process,
+    run_pairs_serial,
+    run_pairs_threaded,
+)
+from repro.exceptions import CapacityError
+from repro.perf.signature import canonical_key
+from repro.views.capacity import QueryCapacity
+from repro.views.closure import SearchLimits
+from repro.views.equivalence import (
+    DominanceWitness,
+    capacity_dominance,
+    update_dominance,
+)
+from repro.views.view import View
+
+__all__ = ["CatalogAnalyzer", "CatalogReport", "view_signature"]
+
+_EXECUTORS = ("thread", "process")
+
+ViewsInput = Union[Catalog, Mapping[str, View], Iterable[PyTuple[str, View]]]
+
+
+def view_signature(view: View) -> Hashable:
+    """A capacity signature: the multiset of canonical keys of the view's
+    reduced defining templates.
+
+    Equal signatures imply the views' defining queries realise the same
+    mappings up to pairing, hence that the views have *equal query
+    capacities* (Theorem 1.5.2: the capacity is the closure of the defining
+    queries, and closures of equal mapping-sets coincide).  View member
+    names never enter the signature, so renamed copies of a view — the
+    common case in a design catalog — land in one class.
+    """
+
+    counts = Counter(
+        canonical_key(template)
+        for template in view.reduced_defining_templates().values()
+    )
+    return frozenset(counts.items())
+
+
+@dataclass(frozen=True)
+class CatalogReport:
+    """The batched analysis of a catalog.
+
+    ``dominance`` holds every ordered pair of distinct catalog names;
+    ``dominance[(a, b)]`` is whether view ``a`` dominates view ``b``
+    (``Cap(b) <= Cap(a)``).  Dominance is reflexive by definition, so the
+    diagonal is implied rather than stored.
+    """
+
+    names: PyTuple[str, ...]
+    dominance: Mapping[Pair, bool]
+    equivalence_classes: PyTuple[PyTuple[str, ...], ...]
+    nonredundant_core: PyTuple[str, ...]
+    signature_classes: PyTuple[PyTuple[str, ...], ...]
+    decided_pairs: int
+    broadcast_pairs: int
+    view_reports: Optional[Dict[str, ViewAnalysisReport]] = None
+
+    def dominates(self, first: str, second: str) -> bool:
+        """Whether view ``first`` dominates view ``second`` (reflexive)."""
+
+        if first == second:
+            return True
+        return self.dominance[(first, second)]
+
+    def equivalent(self, first: str, second: str) -> bool:
+        """Whether the two views have equal capacity (mutual dominance)."""
+
+        return self.dominates(first, second) and self.dominates(second, first)
+
+    def matrix_lines(self) -> List[str]:
+        """The dominance matrix rendered for terminals.
+
+        Rows are the dominating view, columns the dominated one: ``+`` for
+        "row dominates column", ``.`` for "does not", ``=`` on the diagonal.
+        """
+
+        width = max((len(name) for name in self.names), default=1)
+        header = " " * (width + 1) + " ".join(name.rjust(width) for name in self.names)
+        lines = [header]
+        for row in self.names:
+            cells = []
+            for col in self.names:
+                if row == col:
+                    cell = "="
+                else:
+                    cell = "+" if self.dominance[(row, col)] else "."
+                cells.append(cell.rjust(width))
+            lines.append(row.rjust(width) + " " + " ".join(cells))
+        return lines
+
+
+class CatalogAnalyzer:
+    """Batched pairwise analysis of a catalog of views.
+
+    Parameters
+    ----------
+    views:
+        A :class:`repro.catalog.Catalog`, a ``{name: View}`` mapping or an
+        iterable of ``(name, view)`` pairs.  All views must share one
+        underlying database schema (dominance is only defined there).
+    limits:
+        The single :class:`SearchLimits` object every batched decision and
+        per-view report honours.
+    jobs:
+        Worker count for the pairwise fan-out; ``1`` means serial.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — see
+        :mod:`repro.engine.parallel` for the trade-off.
+    """
+
+    def __init__(
+        self,
+        views: ViewsInput,
+        limits: SearchLimits = SearchLimits(),
+        jobs: int = 1,
+        executor: str = "thread",
+    ) -> None:
+        items = dict(views.views) if isinstance(views, Catalog) else dict(views)
+        if not items:
+            raise CapacityError("a catalog analysis needs at least one view")
+        schemas = {view.underlying_schema for view in items.values()}
+        if len(schemas) > 1:
+            raise CapacityError(
+                "all catalog views must share one underlying database schema"
+            )
+        if jobs < 1:
+            raise CapacityError(f"jobs must be >= 1, got {jobs}")
+        if executor not in _EXECUTORS:
+            raise CapacityError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        self._views: Dict[str, View] = {name: items[name] for name in sorted(items)}
+        self._limits = limits
+        self._jobs = int(jobs)
+        self._executor = executor
+        # One capacity per view, all built from the one shared limits object;
+        # sharing the capacity shares its generator mapping, which keys every
+        # downstream construction memo.
+        self._capacities: Dict[str, QueryCapacity] = {
+            name: QueryCapacity(view, limits) for name, view in self._views.items()
+        }
+        # Decided representative pairs, carried across incremental updates.
+        self._decisions: Dict[Pair, PairOutcome] = {}
+        self._signatures: Optional[Dict[str, Hashable]] = None
+
+    # --------------------------------------------------------------- basics
+    @property
+    def names(self) -> PyTuple[str, ...]:
+        """The catalog names in sorted order."""
+
+        return tuple(self._views)
+
+    @property
+    def views(self) -> Dict[str, View]:
+        """The catalog's views keyed by name (a copy)."""
+
+        return dict(self._views)
+
+    @property
+    def limits(self) -> SearchLimits:
+        """The shared search limits every batched decision honours."""
+
+        return self._limits
+
+    def view(self, name: str) -> View:
+        """The view registered under ``name``."""
+
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CapacityError(f"the catalog has no view named {name!r}") from None
+
+    def capacity(self, name: str) -> QueryCapacity:
+        """The shared :class:`QueryCapacity` of the named view."""
+
+        self.view(name)
+        return self._capacities[name]
+
+    def analyzer(self, name: str) -> ViewAnalyzer:
+        """A :class:`ViewAnalyzer` over the view's *shared* capacity object."""
+
+        return ViewAnalyzer(capacity=self.capacity(name))
+
+    # --------------------------------------------------------- signatures
+    def _signature_of(self, name: str) -> Hashable:
+        if self._signatures is None:
+            self._signatures = {}
+        if name not in self._signatures:
+            self._signatures[name] = view_signature(self._views[name])
+        return self._signatures[name]
+
+    def signature_classes(self) -> PyTuple[PyTuple[str, ...], ...]:
+        """Catalog names grouped by capacity signature (sorted, deterministic)."""
+
+        groups: Dict[Hashable, List[str]] = {}
+        for name in self._views:
+            groups.setdefault(self._signature_of(name), []).append(name)
+        return tuple(
+            tuple(sorted(members))
+            for members in sorted(groups.values(), key=lambda m: min(m))
+        )
+
+    def _representatives(self) -> Dict[str, str]:
+        """Map every catalog name to its signature class representative."""
+
+        representative: Dict[str, str] = {}
+        for members in self.signature_classes():
+            head = members[0]
+            for name in members:
+                representative[name] = head
+        return representative
+
+    # ----------------------------------------------------------- decisions
+    def _decide(self, pair: Pair) -> DominanceWitness:
+        """One dominance decision through the shared capacity objects."""
+
+        first, second = pair
+        return capacity_dominance(self._capacities[first], self._views[second])
+
+    def _run_pairs(self, pairs: Sequence[Pair]) -> Dict[Pair, PairOutcome]:
+        if not pairs:
+            return {}
+        if self._jobs <= 1 or len(pairs) == 1:
+            return run_pairs_serial(pairs, self._decide)
+        if self._executor == "thread":
+            return run_pairs_threaded(pairs, self._decide, self._jobs)
+        catalog_text = serialize_catalog(
+            Catalog(
+                schema=next(iter(self._views.values())).underlying_schema,
+                views=self._views,
+            )
+        )
+        return run_pairs_process(pairs, catalog_text, self._limits, self._jobs)
+
+    def _ensure_decided(self) -> Dict[str, str]:
+        representative = self._representatives()
+        heads = sorted(set(representative.values()))
+        pending = [
+            (a, b)
+            for a in heads
+            for b in heads
+            if a != b and (a, b) not in self._decisions
+        ]
+        self._decisions.update(self._run_pairs(pending))
+        return representative
+
+    def _broadcast_matrix(self, representative: Dict[str, str]) -> Dict[Pair, bool]:
+        matrix: Dict[Pair, bool] = {}
+        for a in self._views:
+            for b in self._views:
+                if a == b:
+                    continue
+                ra, rb = representative[a], representative[b]
+                matrix[(a, b)] = True if ra == rb else self._decisions[(ra, rb)][0]
+        return matrix
+
+    def dominance_matrix(self) -> Dict[Pair, bool]:
+        """Every ordered pair ``(a, b)`` of distinct names mapped to whether
+        ``a`` dominates ``b``.
+
+        Representative pairs are decided (in parallel when configured);
+        verdicts broadcast across signature classes, and same-class pairs are
+        mutually dominant by equality of capacities.
+        """
+
+        return self._broadcast_matrix(self._ensure_decided())
+
+    def dominance_witness(self, first: str, second: str) -> Optional[DominanceWitness]:
+        """The stored witness for the representative pair of ``(first, second)``.
+
+        ``None`` when the pair is same-class (dominance holds by capacity
+        equality, no witness is materialised) or when the decision was made
+        on the process backend (workers return verdicts, not witnesses).
+        """
+
+        self.view(first), self.view(second)
+        representative = self._ensure_decided()
+        ra, rb = representative[first], representative[second]
+        if ra == rb:
+            return None
+        return self._decisions[(ra, rb)][2]
+
+    # ------------------------------------------------------------- analyses
+    def equivalence_classes(self) -> PyTuple[PyTuple[str, ...], ...]:
+        """Maximal groups of mutually dominant (capacity-equal) views."""
+
+        return self._equivalence_classes(self.dominance_matrix())
+
+    def _equivalence_classes(
+        self, matrix: Dict[Pair, bool]
+    ) -> PyTuple[PyTuple[str, ...], ...]:
+        parent = {name: name for name in self._views}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for (a, b), holds in matrix.items():
+            if holds and matrix[(b, a)]:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+        groups: Dict[str, List[str]] = {}
+        for name in self._views:
+            groups.setdefault(find(name), []).append(name)
+        return tuple(
+            tuple(sorted(members))
+            for members in sorted(groups.values(), key=lambda m: min(m))
+        )
+
+    def nonredundant_core(self) -> PyTuple[str, ...]:
+        """A minimal dominating subset of the catalog (redundancy elimination).
+
+        A view is dropped when another view *strictly* dominates it, or when
+        it is equivalent to a lexicographically earlier view — i.e. the core
+        keeps the dominance-maximal views, one (first-named) representative
+        per equivalence class.  The rule is order-independent, so the result
+        is deterministic.
+        """
+
+        return self._nonredundant_core(self.dominance_matrix())
+
+    def _nonredundant_core(self, matrix: Dict[Pair, bool]) -> PyTuple[str, ...]:
+        core: List[str] = []
+        for name in self._views:
+            subsumed = False
+            for other in self._views:
+                if other == name:
+                    continue
+                if matrix[(other, name)]:
+                    if not matrix[(name, other)] or other < name:
+                        subsumed = True
+                        break
+            if not subsumed:
+                core.append(name)
+        return tuple(core)
+
+    def view_reports(self) -> Dict[str, ViewAnalysisReport]:
+        """Full per-view reports, each through the shared capacity/limits."""
+
+        return {name: self.analyzer(name).analyze() for name in self._views}
+
+    def analyze(self, include_view_reports: bool = False) -> CatalogReport:
+        """Run the batched analysis and return a :class:`CatalogReport`."""
+
+        representative = self._ensure_decided()
+        heads = set(representative.values())
+        matrix = self._broadcast_matrix(representative)
+        n = len(self._views)
+        return CatalogReport(
+            names=self.names,
+            dominance=matrix,
+            equivalence_classes=self._equivalence_classes(matrix),
+            nonredundant_core=self._nonredundant_core(matrix),
+            signature_classes=self.signature_classes(),
+            decided_pairs=len(heads) * (len(heads) - 1),
+            broadcast_pairs=n * (n - 1) - len(heads) * (len(heads) - 1),
+            view_reports=self.view_reports() if include_view_reports else None,
+        )
+
+    # ---------------------------------------------------------- incremental
+    def _derive(self, views: Dict[str, View]) -> "CatalogAnalyzer":
+        derived = CatalogAnalyzer(
+            views, limits=self._limits, jobs=self._jobs, executor=self._executor
+        )
+        # Decisions are pure functions of the two views and the limits, so
+        # every decided pair whose views are unchanged carries over.
+        for (a, b), outcome in self._decisions.items():
+            if a in views and b in views:
+                if views[a] is self._views.get(a) and views[b] is self._views.get(b):
+                    derived._decisions[(a, b)] = outcome
+        return derived
+
+    def with_view(self, name: str, view: View) -> "CatalogAnalyzer":
+        """A new analyzer with ``name`` added or replaced by ``view``.
+
+        Decisions between unchanged views carry over untouched.  When
+        ``name`` replaces an existing view, decisions *against* the old view
+        (old view on the dominated side) are refreshed through
+        :func:`repro.views.equivalence.update_dominance`, reusing the
+        previous witness's per-query construction outcomes for every
+        defining query the view kept — the incremental-dominance path for a
+        view that gained or lost a member.
+        """
+
+        old_view = self._views.get(name)
+        views = dict(self._views)
+        views[name] = view
+        derived = self._derive(views)
+        if old_view is not None and old_view != view:
+            for (a, b), outcome in self._decisions.items():
+                witness = outcome[2]
+                if b != name or a == name or witness is None:
+                    continue
+                if a not in derived._views or derived._views[a] is not self._views[a]:
+                    continue
+                refreshed = update_dominance(
+                    self._views[a], view, witness, old_view, self._limits
+                )
+                derived._decisions[(a, name)] = pair_outcome(refreshed)
+        return derived
+
+    def without_view(self, name: str) -> "CatalogAnalyzer":
+        """A new analyzer with ``name`` removed; unrelated decisions carry over."""
+
+        self.view(name)
+        views = {k: v for k, v in self._views.items() if k != name}
+        return self._derive(views)
+
+    def __repr__(self) -> str:
+        return (
+            f"CatalogAnalyzer({len(self._views)} views, jobs={self._jobs}, "
+            f"executor={self._executor!r})"
+        )

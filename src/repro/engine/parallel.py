@@ -1,0 +1,128 @@
+"""Execution backends for the batched catalog engine.
+
+The pairwise dominance decisions of a catalog are independent of each other,
+so :class:`repro.engine.CatalogAnalyzer` fans them out over one of three
+backends:
+
+* **serial** (``jobs=1``) — a plain loop; the reference for the bit-identical
+  cross-checks.
+* **thread** — a :class:`~concurrent.futures.ThreadPoolExecutor` over the
+  already lock-guarded memo tables of :mod:`repro.perf.cache`.  Warm traffic
+  (the memo steady state) spends most of its time in table probes, so threads
+  interleave cheaply and every worker benefits from every other worker's
+  inserts; the tables' ``contention`` counters record how often workers
+  actually collided.  Cold CPU-bound work is still serialised by the GIL.
+* **process** (opt-in) — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  for *cold* catalogs, where the work is pure Python computation and only
+  separate interpreters give real parallelism.  The catalog is shipped to the
+  workers once, as its DSL serialisation (the library's domain objects guard
+  their immutability in ways the default pickle machinery trips over), so
+  every task is just a ``(dominating, dominated)`` name pair.  Workers return
+  ``(holds, missing-names)`` rather than full witnesses; decisions made this
+  way therefore carry no construction witnesses in the parent.
+
+All three backends compute each matrix cell as a pure function of
+``(dominating view, dominated view, limits)``, so their results are
+bit-identical — which the test-suite asserts rather than assumes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import astuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.views.closure import SearchLimits
+from repro.views.equivalence import DominanceWitness
+
+__all__ = [
+    "Pair",
+    "PairOutcome",
+    "pair_outcome",
+    "run_pairs_serial",
+    "run_pairs_threaded",
+    "run_pairs_process",
+]
+
+Pair = PyTuple[str, str]
+
+#: ``(holds, missing view-member names, witness when the backend kept one)``.
+PairOutcome = PyTuple[bool, PyTuple[str, ...], Optional[DominanceWitness]]
+
+DecideFn = Callable[[Pair], DominanceWitness]
+
+
+def pair_outcome(witness: DominanceWitness) -> PairOutcome:
+    """The canonical outcome encoding of a witness-bearing decision."""
+
+    return (
+        witness.holds,
+        tuple(sorted(name.name for name in witness.missing)),
+        witness,
+    )
+
+
+def run_pairs_serial(pairs: Sequence[Pair], decide: DecideFn) -> Dict[Pair, PairOutcome]:
+    """Decide every pair in order on the calling thread."""
+
+    return {pair: pair_outcome(decide(pair)) for pair in pairs}
+
+
+def run_pairs_threaded(
+    pairs: Sequence[Pair], decide: DecideFn, jobs: int
+) -> Dict[Pair, PairOutcome]:
+    """Decide the pairs on a thread pool sharing the global memo tables."""
+
+    results: Dict[Pair, PairOutcome] = {}
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = {pair: pool.submit(decide, pair) for pair in pairs}
+        for pair, future in futures.items():
+            results[pair] = pair_outcome(future.result())
+    return results
+
+
+# ----------------------------------------------------------- process backend
+#
+# Worker state is module-global: ProcessPoolExecutor's ``initializer`` runs
+# once per worker, parses the catalog text and keeps the views (and one
+# shared SearchLimits) for every subsequent task.
+_WORKER_VIEWS = None
+_WORKER_LIMITS = None
+
+
+def _process_init(catalog_text: str, limits_fields: PyTuple) -> None:
+    global _WORKER_VIEWS, _WORKER_LIMITS
+    from repro.catalog import parse_catalog
+
+    _WORKER_VIEWS = dict(parse_catalog(catalog_text).views)
+    _WORKER_LIMITS = SearchLimits(*limits_fields)
+
+
+def _process_decide(pair: Pair) -> PyTuple[Pair, bool, PyTuple[str, ...]]:
+    from repro.views.equivalence import dominates
+
+    first, second = pair
+    witness = dominates(_WORKER_VIEWS[first], _WORKER_VIEWS[second], _WORKER_LIMITS)
+    return pair, witness.holds, tuple(sorted(name.name for name in witness.missing))
+
+
+def run_pairs_process(
+    pairs: Sequence[Pair],
+    catalog_text: str,
+    limits: SearchLimits,
+    jobs: int,
+) -> Dict[Pair, PairOutcome]:
+    """Decide the pairs on a process pool seeded with the serialised catalog."""
+
+    # astuple tracks the dataclass's field list, so a future SearchLimits
+    # field cannot silently revert to its default on the process backend.
+    limits_fields = astuple(limits)
+    results: Dict[Pair, PairOutcome] = {}
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_process_init,
+        initargs=(catalog_text, limits_fields),
+    ) as pool:
+        for pair, holds, missing in pool.map(_process_decide, pairs):
+            results[pair] = (holds, missing, None)
+    return results

@@ -47,6 +47,7 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: int
+    contention: int = 0
 
     @property
     def requests(self) -> int:
@@ -61,6 +62,19 @@ class CacheStats:
         total = self.requests
         return self.hits / total if total else 0.0
 
+    @property
+    def eviction_pressure(self) -> float:
+        """Fraction of insertions that displaced a resident entry.
+
+        Misses bound insertions from above (every insert follows a miss), so
+        ``evictions / misses`` measures how hard the working set presses
+        against ``maxsize``: 0.0 means the table never filled, values near
+        1.0 mean almost every new entry evicts — the signal to raise the
+        table's ``maxsize`` via :func:`configure`.
+        """
+
+        return self.evictions / self.misses if self.misses else 0.0
+
 
 class LRUCache:
     """A thread-safe bounded mapping with least-recently-used eviction.
@@ -71,7 +85,16 @@ class LRUCache:
     owning modules having to export them.
     """
 
-    __slots__ = ("name", "_data", "_lock", "_maxsize", "_hits", "_misses", "_evictions")
+    __slots__ = (
+        "name",
+        "_data",
+        "_lock",
+        "_maxsize",
+        "_hits",
+        "_misses",
+        "_evictions",
+        "_contention",
+    )
 
     def __init__(self, name: str, maxsize: int = DEFAULT_MAXSIZE) -> None:
         self.name = name
@@ -81,12 +104,26 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._contention = 0
         _REGISTRY[name] = self
+
+    def _acquire(self) -> None:
+        """Take the table lock, counting the times another thread held it.
+
+        The counter is advisory (incremented outside the lock), which is fine
+        for the dashboard purpose it serves: any non-zero value means threads
+        of a parallel catalog run actually collided on this table.
+        """
+
+        if not self._lock.acquire(blocking=False):
+            self._contention += 1
+            self._lock.acquire()
 
     def lookup(self, key: Hashable) -> Tuple[bool, Any]:
         """Return ``(found, value)``; counts a hit or a miss accordingly."""
 
-        with self._lock:
+        self._acquire()
+        try:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
                 self._misses += 1
@@ -94,11 +131,14 @@ class LRUCache:
             self._data.move_to_end(key)
             self._hits += 1
             return True, value
+        finally:
+            self._lock.release()
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key -> value``, evicting the LRU entry when full."""
 
-        with self._lock:
+        self._acquire()
+        try:
             if key in self._data:
                 self._data.move_to_end(key)
                 self._data[key] = value
@@ -107,6 +147,27 @@ class LRUCache:
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
                 self._evictions += 1
+        finally:
+            self._lock.release()
+
+    def resize(self, maxsize: int) -> None:
+        """Change the table's capacity, dropping LRU entries on shrink.
+
+        Entries removed here are deliberate operator action, not working-set
+        pressure, so they do not count as evictions — ``eviction_pressure``
+        keeps its meaning as "insertions that displaced a resident entry".
+        """
+
+        with self._lock:
+            self._maxsize = max(1, int(maxsize))
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+
+    @property
+    def maxsize(self) -> int:
+        """The table's current capacity."""
+
+        return self._maxsize
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -116,6 +177,7 @@ class LRUCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._contention = 0
 
     def stats(self) -> CacheStats:
         """A snapshot of the table's counters."""
@@ -128,6 +190,7 @@ class LRUCache:
                 evictions=self._evictions,
                 size=len(self._data),
                 maxsize=self._maxsize,
+                contention=self._contention,
             )
 
     def __len__(self) -> int:
@@ -146,18 +209,45 @@ def caches_enabled() -> bool:
     return _ENABLED
 
 
-def configure(enabled: Optional[bool] = None) -> None:
-    """Switch memoisation on or off globally.
+def configure(
+    enabled: Optional[bool] = None,
+    maxsize: Optional[int] = None,
+    table_sizes: Optional[Dict[str, int]] = None,
+) -> None:
+    """Configure the global memo tables.
 
-    Disabling also clears every table, so a subsequent re-enable starts
-    cold — the semantics the cross-check tests rely on.
+    ``enabled``     — switch memoisation on or off globally.  Disabling also
+                      clears every table, so a subsequent re-enable starts
+                      cold — the semantics the cross-check tests rely on.
+    ``maxsize``     — resize *every* registered table to this capacity
+                      (shrinking evicts LRU entries immediately).
+    ``table_sizes`` — per-table capacity overrides keyed by registry name
+                      (see :func:`cache_stats` for the names); applied after
+                      ``maxsize`` so a global floor plus targeted raises
+                      compose.  Unknown names raise ``KeyError`` rather than
+                      silently configuring nothing.
     """
 
     global _ENABLED
+    # Validate before mutating anything so a bad call leaves every table
+    # (and the enablement switch) exactly as it found them.
+    if table_sizes:
+        unknown = sorted(set(table_sizes) - set(_REGISTRY))
+        if unknown:
+            raise KeyError(
+                f"no memo table named {unknown[0]!r}; known tables: "
+                f"{sorted(_REGISTRY)}"
+            )
     if enabled is not None:
         _ENABLED = bool(enabled)
         if not _ENABLED:
             clear_caches()
+    if maxsize is not None:
+        for cache in _REGISTRY.values():
+            cache.resize(maxsize)
+    if table_sizes:
+        for name, size in table_sizes.items():
+            _REGISTRY[name].resize(size)
 
 
 def clear_caches() -> None:

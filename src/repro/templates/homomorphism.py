@@ -131,6 +131,11 @@ def _iter_maps(
     assignment of rows to images — is identical to the seed engine's.
     """
 
+    # Tag precheck: row images are tag-preserving, so a source tag absent
+    # from the target dooms the search before any index is built.
+    if not source.relation_names <= target.relation_names:
+        return
+
     index = target_index(target)
     rows = list(source.rows)
     base_candidates = {

@@ -44,6 +44,12 @@ class QueryCapacity:
         return self._view
 
     @property
+    def limits(self) -> SearchLimits:
+        """The search limits every membership decision of this capacity honours."""
+
+        return self._limits
+
+    @property
     def underlying_schema(self) -> DatabaseSchema:
         """The database schema whose queries the capacity is a subset of."""
 

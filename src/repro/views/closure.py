@@ -65,6 +65,7 @@ __all__ = [
     "Construction",
     "SearchLimits",
     "named_generators",
+    "construction_feasible",
     "find_construction",
     "iter_constructions",
     "closure_contains",
@@ -160,6 +161,47 @@ class Construction:
         """Re-check that the construction realises ``goal``."""
 
         return templates_equivalent(self.substituted, as_template(goal))
+
+
+def construction_feasible(
+    generators: Mapping[RelationName, Template],
+    goal: Union[Expression, Template],
+) -> bool:
+    """Cheap scheme prechecks: can *any* construction of ``goal`` exist?
+
+    ``True`` promises nothing; ``False`` proves no construction exists, so
+    callers can skip the reduction and subset search entirely.  Both
+    conditions are sound necessities of a successful subset in
+    :func:`_search_constructions`:
+
+    * every generator contributing a row must have its relation names inside
+      the goal's (its substitution block would otherwise put a foreign
+      relation name into the substituted template, which must equal the
+      goal's set exactly) — so at least one such *eligible* generator must
+      exist; and
+    * a candidate row's distinguished columns lie inside its generator's
+      target scheme and inside the goal's (a distinguished image symbol
+      ``0_A`` only occurs in the goal at its own target columns), so the
+      eligible generators' target schemes must jointly cover the goal's.
+
+    Reduction never changes a template's target scheme and only shrinks its
+    relation-name set, so checking the *unreduced* goal is conservative:
+    anything feasible for the reduced goal passes here.
+    """
+
+    goal_template = as_template(goal)
+    eligible = [
+        name
+        for name, template in generators.items()
+        if template.relation_names <= goal_template.relation_names
+    ]
+    if not eligible:
+        return False
+    target_attrs = set(goal_template.target_scheme.attributes)
+    coverable: set = set()
+    for name in eligible:
+        coverable.update(set(name.type.attributes) & target_attrs)
+    return coverable >= target_attrs
 
 
 def _candidate_rows(
@@ -376,6 +418,13 @@ def find_construction(
         found, cached = _CONSTRUCTION_CACHE.lookup(key)
         if found:
             return cached
+    if not construction_feasible(generators, goal_template):
+        # Scheme precheck: hopeless goals short-circuit before the goal is
+        # even reduced.  The verdict is still memoised — repeated traffic
+        # should not pay even the precheck again.
+        if key is not None:
+            _CONSTRUCTION_CACHE.put(key, None)
+        return None
     result = next(
         _search_constructions(
             generators, reduce_template(goal_template), limits, require_expression
@@ -400,6 +449,8 @@ def iter_constructions(
     quantifies over *every* exhibited construction of a defining query.
     """
 
+    if not construction_feasible(generators, goal):
+        return
     goal_template = reduce_template(as_template(goal))
     yield from _search_constructions(
         generators, goal_template, limits, require_expression

@@ -32,6 +32,7 @@ from repro.views.view import View, ViewDefinition
 
 __all__ = [
     "is_redundant_member",
+    "redundant_members",
     "nonredundant_query_set",
     "is_nonredundant_query_set",
     "remove_redundancy",
@@ -66,6 +67,29 @@ def is_redundant_member(
     if not rest:
         return False
     return closure_contains(named_generators(rest), member_template, limits)
+
+
+def redundant_members(
+    queries: Sequence[Query],
+    limits: SearchLimits = SearchLimits(),
+    known_redundant: Sequence[int] = (),
+) -> PyTuple[int, ...]:
+    """Indices of the redundant members of ``queries``.
+
+    ``known_redundant`` is the incremental hook for catalog traffic: closures
+    grow monotonically with their generator set, so when a query set only
+    *gained* members since an earlier sweep, every member found redundant
+    then is still redundant now and is reported without re-deciding.  Only
+    the remaining members (including the newly gained ones) are submitted to
+    the closure-membership search.
+    """
+
+    known = {index for index in known_redundant if 0 <= index < len(queries)}
+    redundant: List[int] = []
+    for index, member in enumerate(queries):
+        if index in known or is_redundant_member(queries, member, limits):
+            redundant.append(index)
+    return tuple(redundant)
 
 
 def nonredundant_query_set(

@@ -14,12 +14,14 @@ from repro.workloads.scenarios import (
 )
 from repro.workloads.synthetic import (
     SchemaSpec,
+    cold_membership_instance,
     equivalent_view_pair,
     perturbed_view,
     random_expression,
     random_schema,
     random_view,
     redundant_view,
+    view_catalog,
 )
 
 __all__ = [
@@ -34,10 +36,12 @@ __all__ = [
     "section_4_1_example",
     "university_scenario",
     "SchemaSpec",
+    "cold_membership_instance",
     "equivalent_view_pair",
     "perturbed_view",
     "random_expression",
     "random_schema",
     "random_view",
     "redundant_view",
+    "view_catalog",
 ]

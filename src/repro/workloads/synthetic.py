@@ -17,6 +17,7 @@ from repro.exceptions import WorkloadError
 from repro.relalg.ast import Expression, Join, Projection, RelationRef
 from repro.relalg.rewrites import normalize_expression
 from repro.relational.schema import DatabaseSchema, RelationName, RelationScheme
+from repro.templates.template import Template
 from repro.views.view import View, ViewDefinition
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "redundant_view",
     "equivalent_view_pair",
     "perturbed_view",
+    "view_catalog",
+    "cold_membership_instance",
 ]
 
 
@@ -189,6 +192,121 @@ def equivalent_view_pair(
         {name.name: f"W{name.name}" for name in padded.view_names}
     )
     return base, renamed
+
+
+def view_catalog(
+    schema: DatabaseSchema,
+    classes: int = 4,
+    copies_per_class: int = 4,
+    members: int = 2,
+    atoms_per_query: int = 2,
+    projection_probability: float = 0.5,
+    seed: int = 0,
+) -> Dict[str, View]:
+    """An N-view catalog with ``classes`` capacity-signature classes.
+
+    Each class is one random base view plus ``copies_per_class - 1`` copies
+    with renamed view members — the design-catalog shape where many
+    candidate views are mere relabelings of each other.  Copies share their
+    base's defining queries, so they land in one signature class of
+    :class:`repro.engine.CatalogAnalyzer` and the pairwise decision matrix
+    deduplicates from ``N^2`` to ``classes^2`` representative pairs.
+    Catalog keys (``C<class>x<copy>``) and member names stay within the
+    catalogue DSL's identifier syntax so the catalog serialises for the
+    process backend.
+    """
+
+    if classes < 1 or copies_per_class < 1:
+        raise WorkloadError("a catalog needs at least one class and one copy")
+    catalog: Dict[str, View] = {}
+    for klass in range(classes):
+        base = random_view(
+            schema,
+            members=members,
+            atoms_per_query=atoms_per_query,
+            projection_probability=projection_probability,
+            seed=seed * 1009 + klass,
+            name_prefix=f"K{klass}V",
+        )
+        for copy in range(copies_per_class):
+            if copy == 0:
+                view = base
+            else:
+                view = base.renamed(
+                    {name.name: f"{name.name}c{copy}" for name in base.view_names}
+                )
+            catalog[f"C{klass}x{copy}"] = view
+    return catalog
+
+
+def cold_membership_instance(
+    schema: DatabaseSchema,
+    generator_count: int = 4,
+    generator_atoms: int = 3,
+    goal_atoms: int = 7,
+    seed: int = 0,
+    hopeless: bool = False,
+    prefix: str = "G",
+) -> PyTuple[Dict[RelationName, "Template"], Expression]:
+    """A large cold capacity-membership instance: named generators and a goal.
+
+    The goal is a deep join of ``goal_atoms`` relation atoms (no outer
+    projection, so its target scheme stays wide and its template has many
+    rows).  With ``hopeless=False`` the goal is a join of two of the
+    generators themselves, so a construction exists by definition.  With
+    ``hopeless=True`` every generator projects away one of the goal's target
+    attributes, so *no* construction can exist — the membership answer is
+    negative for a reason the scheme prechecks of
+    :func:`repro.views.closure.construction_feasible` detect without
+    reducing the goal or enumerating a single folding, while a precheck-free
+    engine pays the full search before failing.
+    """
+
+    if generator_count < 2 or generator_atoms < 1 or goal_atoms < 1:
+        raise WorkloadError("inconsistent cold membership specification")
+    rng = random.Random(seed)
+    names = sorted(schema.relation_names, key=lambda n: n.name)
+
+    def join_of(parts: Sequence[Expression]) -> Expression:
+        joined = parts[0]
+        for part in parts[1:]:
+            joined = Join((joined, part))
+        return normalize_expression(joined)
+
+    goal = join_of([RelationRef(rng.choice(names)) for _ in range(goal_atoms)])
+    goal_attrs = goal.target_scheme.sorted_attributes()
+    poison = goal_attrs[-1] if hopeless else None
+
+    generators: List[Expression] = []
+    attempts = 0
+    while len(generators) < generator_count:
+        attempts += 1
+        if attempts > 50 * generator_count:
+            # Every relation scheme collapsed to the poison attribute: no
+            # eligible generator can exist, so fail loudly instead of looping.
+            raise WorkloadError(
+                "cannot draw generators whose target schemes avoid "
+                f"attribute {poison}; use a wider schema"
+            )
+        expression = random_expression(
+            schema,
+            atoms=generator_atoms,
+            projection_probability=0.0,
+            rng=rng,
+        )
+        attrs = [a for a in expression.target_scheme.sorted_attributes() if a != poison]
+        if not attrs:
+            continue
+        generators.append(
+            normalize_expression(Projection(expression, RelationScheme(attrs)))
+        )
+
+    if not hopeless:
+        goal = join_of(list(rng.sample(generators, 2)))
+
+    from repro.views.closure import named_generators
+
+    return named_generators(generators, prefix), goal
 
 
 def perturbed_view(base: View, seed: int = 0) -> View:

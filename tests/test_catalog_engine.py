@@ -1,0 +1,351 @@
+"""The batched catalog engine: determinism, thread-safety, cross-checks.
+
+The contract under test: every backend of :class:`repro.engine.CatalogAnalyzer`
+(serial, thread pool, process pool) produces **bit-identical** results — equal
+to each other, to per-pair :class:`repro.core.ViewAnalyzer` calls, and to the
+preserved seed engine — with memo tables enabled and disabled; and the
+incremental update paths agree with analysing the updated catalog from
+scratch.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CatalogAnalyzer, ViewAnalyzer
+from repro.baselines.seed_engine import seed_closure_contains, seed_dominates
+from repro.engine import view_signature
+from repro.exceptions import CapacityError
+from repro.perf import caches_enabled, clear_caches, configure
+from repro.relalg import parse_expression
+from repro.relational import DatabaseSchema, RelationName
+from repro.views import SearchLimits, View, closure_contains
+from repro.views.equivalence import dominates, update_dominance
+from repro.views.redundancy import redundant_members
+from repro.workloads import (
+    SchemaSpec,
+    cold_membership_instance,
+    random_schema,
+    view_catalog,
+)
+
+#: Worker count for the parallel lanes.  The default of 2 makes every
+#: ordinary test run a ``--jobs 2`` lane; CI additionally re-runs the engine
+#: subset with REPRO_CATALOG_JOBS=4 for wider fan-out coverage.
+JOBS = int(os.environ.get("REPRO_CATALOG_JOBS", "2"))
+
+
+@pytest.fixture(params=["cached", "uncached"])
+def cache_mode(request):
+    """Run the test body with memo tables enabled and, separately, disabled."""
+
+    previous = caches_enabled()
+    if request.param == "uncached":
+        configure(enabled=False)
+    else:
+        configure(enabled=True)
+        clear_caches()
+    yield request.param
+    configure(enabled=previous)
+    clear_caches()
+
+
+@pytest.fixture
+def small_catalog(q_schema):
+    split = View(
+        [
+            (parse_expression("pi{A,B}(q)", q_schema), RelationName("W1", "AB")),
+            (parse_expression("pi{B,C}(q)", q_schema), RelationName("W2", "BC")),
+        ],
+        q_schema,
+    )
+    joined = View(
+        [
+            (
+                parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema),
+                RelationName("V1", "ABC"),
+            )
+        ],
+        q_schema,
+    )
+    weak = View(
+        [(parse_expression("pi{A}(q)", q_schema), RelationName("Y1", "A"))], q_schema
+    )
+    return {
+        "Split": split,
+        "Joined": joined,
+        "Copy": split.renamed({"W1": "X1", "W2": "X2"}),
+        "Weak": weak,
+    }
+
+
+@pytest.fixture
+def random_catalog():
+    schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=23)
+    return view_catalog(
+        schema, classes=3, copies_per_class=2, members=2, atoms_per_query=2, seed=9
+    )
+
+
+def _per_pair_matrix(catalog, limits=SearchLimits()):
+    return {
+        (a, b): ViewAnalyzer(catalog[a], limits).dominates(catalog[b])
+        for a in catalog
+        for b in catalog
+        if a != b
+    }
+
+
+class TestCrossChecks:
+    def test_matches_per_pair_view_analyzer(self, small_catalog, cache_mode):
+        matrix = CatalogAnalyzer(small_catalog).dominance_matrix()
+        assert matrix == _per_pair_matrix(small_catalog)
+
+    def test_matches_seed_engine(self, small_catalog, cache_mode):
+        matrix = CatalogAnalyzer(small_catalog).dominance_matrix()
+        seed = {
+            (a, b): seed_dominates(small_catalog[a], small_catalog[b])
+            for a in small_catalog
+            for b in small_catalog
+            if a != b
+        }
+        assert matrix == seed
+
+    def test_random_catalog_matches_both(self, random_catalog, cache_mode):
+        matrix = CatalogAnalyzer(random_catalog).dominance_matrix()
+        assert matrix == _per_pair_matrix(random_catalog)
+        assert matrix == {
+            (a, b): seed_dominates(random_catalog[a], random_catalog[b])
+            for a in random_catalog
+            for b in random_catalog
+            if a != b
+        }
+
+    def test_report_reflexive_and_consistent(self, small_catalog):
+        report = CatalogAnalyzer(small_catalog).analyze()
+        for name in report.names:
+            assert report.dominates(name, name)
+        assert report.equivalent("Split", "Copy")
+        assert report.equivalent("Split", "Joined")
+        assert not report.equivalent("Split", "Weak")
+        assert report.nonredundant_core == ("Copy",)
+
+
+class TestParallelDeterminism:
+    def test_thread_pool_bit_identical_to_serial(self, small_catalog, cache_mode):
+        serial = CatalogAnalyzer(small_catalog, jobs=1).analyze()
+        threaded = CatalogAnalyzer(small_catalog, jobs=JOBS).analyze()
+        assert threaded.dominance == serial.dominance
+        assert threaded.equivalence_classes == serial.equivalence_classes
+        assert threaded.nonredundant_core == serial.nonredundant_core
+
+    def test_thread_pool_deterministic_across_runs(self, random_catalog, cache_mode):
+        first = CatalogAnalyzer(random_catalog, jobs=JOBS).dominance_matrix()
+        second = CatalogAnalyzer(random_catalog, jobs=JOBS).dominance_matrix()
+        assert first == second
+        assert first == CatalogAnalyzer(random_catalog, jobs=1).dominance_matrix()
+
+    def test_process_pool_bit_identical_to_serial(self, small_catalog):
+        serial = CatalogAnalyzer(small_catalog, jobs=1).dominance_matrix()
+        processed = CatalogAnalyzer(
+            small_catalog, jobs=2, executor="process"
+        ).dominance_matrix()
+        assert processed == serial
+
+    def test_many_threads_on_one_catalog_object(self, random_catalog):
+        # Thread-safety of the shared capacities and memo tables: hammer one
+        # analyzer from several workers and require the serial answer.
+        clear_caches()
+        analyzer = CatalogAnalyzer(random_catalog, jobs=max(JOBS, 4))
+        assert (
+            analyzer.dominance_matrix()
+            == CatalogAnalyzer(random_catalog, jobs=1).dominance_matrix()
+        )
+
+
+class TestSignatureDedup:
+    def test_renamed_copies_share_a_class(self, small_catalog):
+        analyzer = CatalogAnalyzer(small_catalog)
+        classes = analyzer.signature_classes()
+        assert ("Copy", "Split") in classes
+        assert view_signature(small_catalog["Split"]) == view_signature(
+            small_catalog["Copy"]
+        )
+
+    def test_dedup_decides_fewer_pairs(self, random_catalog):
+        report = CatalogAnalyzer(random_catalog).analyze()
+        n = len(random_catalog)
+        assert report.decided_pairs < n * (n - 1)
+        assert report.decided_pairs + report.broadcast_pairs == n * (n - 1)
+
+    def test_signature_ignores_member_names(self, random_catalog):
+        for name, view in random_catalog.items():
+            renamed = view.renamed({n.name: f"{n.name}zz" for n in view.view_names})
+            assert view_signature(view) == view_signature(renamed)
+
+
+class TestIncremental:
+    def test_with_view_add_matches_fresh(self, small_catalog, q_schema):
+        extra = View(
+            [(parse_expression("pi{B}(q)", q_schema), RelationName("Z1", "B"))],
+            q_schema,
+        )
+        base = CatalogAnalyzer(small_catalog)
+        base.dominance_matrix()
+        incremental = base.with_view("Extra", extra).analyze()
+        fresh = CatalogAnalyzer({**small_catalog, "Extra": extra}).analyze()
+        assert incremental.dominance == fresh.dominance
+        assert incremental.nonredundant_core == fresh.nonredundant_core
+
+    def test_with_view_replace_member_gain_matches_fresh(self, small_catalog, q_schema):
+        base = CatalogAnalyzer(small_catalog)
+        base.dominance_matrix()
+        grown = View(
+            list(small_catalog["Weak"].definitions)
+            + [(parse_expression("pi{C}(q)", q_schema), RelationName("Y2", "C"))],
+            q_schema,
+        )
+        incremental = base.with_view("Weak", grown).dominance_matrix()
+        updated = {**small_catalog, "Weak": grown}
+        assert incremental == CatalogAnalyzer(updated).dominance_matrix()
+
+    def test_without_view_matches_fresh(self, small_catalog):
+        base = CatalogAnalyzer(small_catalog)
+        base.dominance_matrix()
+        incremental = base.without_view("Joined").analyze()
+        fresh = CatalogAnalyzer(
+            {k: v for k, v in small_catalog.items() if k != "Joined"}
+        ).analyze()
+        assert incremental.dominance == fresh.dominance
+        assert incremental.equivalence_classes == fresh.equivalence_classes
+
+    def test_update_dominance_matches_fresh(self, small_catalog, q_schema):
+        dominating = small_catalog["Joined"]
+        old = small_catalog["Weak"]
+        witness = dominates(dominating, old)
+        grown = View(
+            list(old.definitions)
+            + [(parse_expression("pi{B,C}(q)", q_schema), RelationName("Y2", "BC"))],
+            q_schema,
+        )
+        refreshed = update_dominance(dominating, grown, witness, old)
+        fresh = dominates(dominating, grown)
+        assert refreshed.holds == fresh.holds
+        assert set(refreshed.constructions) == set(fresh.constructions)
+        assert refreshed.missing == fresh.missing
+
+    def test_redundant_members_known_skip(self, q_schema):
+        queries = [
+            parse_expression("pi{A,B}(q)", q_schema),
+            parse_expression("pi{B,C}(q)", q_schema),
+            parse_expression("pi{A}(q)", q_schema),
+            parse_expression("pi{A,B}(q) & pi{B,C}(q)", q_schema),
+        ]
+        full = redundant_members(queries)
+        # Every member lies in the closure of the others here: 2 and 3 are
+        # derivable from 0 and 1, and 0/1 are projections of the join 3.
+        assert full == (0, 1, 2, 3)
+        # Monotone skip: declaring members known-redundant must reproduce the
+        # full answer without re-deciding them; out-of-range hints are ignored.
+        assert redundant_members(queries, known_redundant=(2,)) == full
+        assert redundant_members(queries, known_redundant=(0, 3, 99)) == full
+        # A genuinely nonredundant set stays empty whatever is hinted absent.
+        independent = [queries[0], queries[1]]
+        assert redundant_members(independent) == ()
+
+
+class TestSharedLimits:
+    def test_one_limits_object_flows_everywhere(self, small_catalog):
+        limits = SearchLimits(max_subsets=5_000)
+        analyzer = CatalogAnalyzer(small_catalog, limits=limits)
+        assert analyzer.limits is limits
+        for name in small_catalog:
+            assert analyzer.capacity(name).limits is limits
+            assert analyzer.analyzer(name).capacity.limits is limits
+
+    def test_starved_limits_identical_serial_and_parallel(self, small_catalog):
+        limits = SearchLimits(max_candidates=2, max_subsets=3)
+        serial = CatalogAnalyzer(small_catalog, limits=limits, jobs=1).dominance_matrix()
+        threaded = CatalogAnalyzer(
+            small_catalog, limits=limits, jobs=JOBS
+        ).dominance_matrix()
+        assert serial == threaded
+
+    def test_view_analyzer_adopts_capacity_limits(self, small_catalog):
+        limits = SearchLimits(max_subsets=123)
+        analyzer = CatalogAnalyzer(small_catalog, limits=limits)
+        shared = analyzer.analyzer("Split")
+        assert shared.capacity is analyzer.capacity("Split")
+
+    def test_view_analyzer_rejects_conflicting_inputs(self, small_catalog):
+        analyzer = CatalogAnalyzer(small_catalog)
+        capacity = analyzer.capacity("Split")
+        with pytest.raises(ValueError):
+            ViewAnalyzer(small_catalog["Joined"], capacity=capacity)
+        with pytest.raises(ValueError):
+            ViewAnalyzer(capacity=capacity, limits=SearchLimits(max_subsets=1))
+        with pytest.raises(TypeError):
+            ViewAnalyzer()
+
+
+class TestValidation:
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(CapacityError):
+            CatalogAnalyzer({})
+
+    def test_rejects_mixed_schemas(self, small_catalog):
+        other_schema = DatabaseSchema([RelationName("r", "AB")])
+        stray = View(
+            [(parse_expression("r", other_schema), RelationName("S1", "AB"))],
+            other_schema,
+        )
+        with pytest.raises(CapacityError):
+            CatalogAnalyzer({**small_catalog, "Stray": stray})
+
+    def test_rejects_bad_jobs_and_executor(self, small_catalog):
+        with pytest.raises(CapacityError):
+            CatalogAnalyzer(small_catalog, jobs=0)
+        with pytest.raises(CapacityError):
+            CatalogAnalyzer(small_catalog, executor="fibers")
+
+
+class TestColdPathPrechecks:
+    @pytest.mark.parametrize("hopeless", [False, True])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_large_instances_agree_with_seed(self, hopeless, seed, cache_mode):
+        schema = random_schema(
+            SchemaSpec(relations=4, arity=2, universe_size=5), seed=7
+        )
+        generators, goal = cold_membership_instance(
+            schema,
+            generator_count=3,
+            generator_atoms=2,
+            goal_atoms=4,
+            seed=seed,
+            hopeless=hopeless,
+        )
+        assert closure_contains(generators, goal) == seed_closure_contains(
+            generators, goal
+        )
+
+    def test_hopeless_instances_are_negative(self):
+        schema = random_schema(
+            SchemaSpec(relations=4, arity=2, universe_size=5), seed=7
+        )
+        for seed in (1, 2, 3):
+            generators, goal = cold_membership_instance(
+                schema, seed=seed, hopeless=True
+            )
+            assert not closure_contains(generators, goal)
+
+    def test_derivable_instances_are_positive(self):
+        schema = random_schema(
+            SchemaSpec(relations=4, arity=2, universe_size=5), seed=7
+        )
+        for seed in (1, 2, 3):
+            generators, goal = cold_membership_instance(
+                schema, seed=seed, hopeless=False
+            )
+            assert closure_contains(generators, goal)
