@@ -4,7 +4,11 @@ Runs the scenarios of the ``bench_membership``, ``bench_equivalence`` and
 ``bench_redundancy`` suites — plus the PR-2 ``large_membership`` (cold-path
 scale-up: deep joins, scheme prechecks) and ``catalog`` (batched
 :class:`repro.engine.CatalogAnalyzer`: signature dedup, parallel fan-out)
-suites — against both engines:
+suites, and the PR-3 ``service`` suite (simulated request/edit traffic
+against the long-lived :class:`repro.service.CatalogService`: throughput,
+latency percentiles, deadline-miss rate, incremental decision-reuse ratio,
+every exact answer verified bit-identical against a fresh serial analyzer
+per catalog version) — against both engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -47,8 +51,9 @@ from repro.baselines.seed_engine import (  # noqa: E402
     seed_remove_redundancy_queries,
     seed_views_equivalent,
 )
-from repro.engine import CatalogAnalyzer  # noqa: E402
+from repro.engine import CatalogAnalyzer, process_chunksize  # noqa: E402
 from repro.perf import cache_stats, clear_caches  # noqa: E402
+from repro.service import run_traffic  # noqa: E402
 from repro.relalg import parse_expression  # noqa: E402
 from repro.relational import DatabaseSchema, RelationName  # noqa: E402
 from repro.views import (  # noqa: E402
@@ -67,6 +72,7 @@ from repro.workloads import (  # noqa: E402
     random_schema,
     random_view,
     redundant_view,
+    traffic_mix,
     view_catalog,
 )
 
@@ -366,25 +372,30 @@ def bench_catalog(repeats: int, smoke: bool = False) -> Dict[str, object]:
     serial_s = _median_seconds(lambda: engine_run(1, "thread"), repeats, clear=True)
     executors = ["thread"] if smoke else ["thread", "process"]
     parallel = []
+    n_views = len(parallel_catalog)
+    representative_pairs = n_views * (n_views - 1)
     for executor in executors:
         clear_caches()
         identical = engine_run(jobs, executor) == reference
         parallel_s = _median_seconds(
             lambda e=executor: engine_run(jobs, e), repeats, clear=True
         )
-        parallel.append(
-            {
-                "name": f"catalog16_parallel_{executor}",
-                "views": len(parallel_catalog),
-                "jobs": jobs,
-                "executor": executor,
-                "cpus": os.cpu_count(),
-                "serial_s": serial_s,
-                "parallel_s": parallel_s,
-                "speedup_parallel": serial_s / max(parallel_s, 1e-9),
-                "identical_to_serial": identical,
-            }
-        )
+        lane = {
+            "name": f"catalog16_parallel_{executor}",
+            "views": n_views,
+            "jobs": jobs,
+            "executor": executor,
+            "cpus": os.cpu_count(),
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup_parallel": serial_s / max(parallel_s, 1e-9),
+            "identical_to_serial": identical,
+        }
+        if executor == "process":
+            # The chunked submission amortises per-task pickling/dispatch;
+            # the trajectory records the chunk the auto-heuristic picked.
+            lane["chunksize"] = process_chunksize(representative_pairs, jobs)
+        parallel.append(lane)
 
     suite = {
         "scenarios": scenarios,
@@ -396,12 +407,80 @@ def bench_catalog(repeats: int, smoke: bool = False) -> Dict[str, object]:
     return suite
 
 
+def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
+    """PR-3 catalog service — sustained traffic with edits and deadlines.
+
+    A seeded read/edit mix (:func:`repro.workloads.traffic_mix`) replays
+    through a live :class:`repro.service.CatalogService` twice: **cold**
+    (memo tables cleared) and **warm** (tables primed by the cold run).
+    Each lane records throughput, latency percentiles, the deadline-miss
+    rate (a seeded slice of reads carries unmeetable deadlines, so the
+    refusal path is always exercised) and the edit stream's incremental
+    decision-reuse ratio.  Every exact (``ok``) answer is recomputed on a
+    fresh serial :class:`CatalogAnalyzer` built from the catalog snapshot of
+    the version it was served at, and must match bit for bit —
+    ``all_identical`` gates the harness exit status like the engine
+    agreement checks do.
+    """
+
+    schema = random_schema(SchemaSpec(relations=4, arity=2, universe_size=5), seed=29)
+    catalog = view_catalog(
+        schema, classes=3, copies_per_class=2, members=2, atoms_per_query=2, seed=19
+    )
+    requests = 24 if smoke else 80
+    jobs = 2
+    events = traffic_mix(
+        schema,
+        catalog,
+        requests=requests,
+        edit_rate=0.15,
+        seed=41,
+        deadline_s=30.0,
+        tiny_deadline_fraction=0.1,
+    )
+
+    lanes = []
+    all_identical = True
+    clear_caches()
+    for lane_name in ("cold", "warm"):
+        lane = run_traffic(catalog, events, jobs=jobs)
+        verdict, elapsed = lane["verdict"], lane["elapsed_s"]
+        all_identical = all_identical and not verdict["mismatches"]
+        m = lane["metrics"].to_dict()
+        lanes.append(
+            {
+                "name": f"service_traffic_{lane_name}",
+                "events": len(events),
+                "jobs": jobs,
+                "cpus": os.cpu_count(),
+                "elapsed_s": elapsed,
+                "throughput_rps": (m["served"] / elapsed) if elapsed > 0 else 0.0,
+                "latency_p50_s": m["latency_p50_s"],
+                "latency_p95_s": m["latency_p95_s"],
+                "deadline_miss_rate": m["deadline_miss_rate"],
+                "reuse": m["reuse"],
+                "served": m["served"],
+                "refused": m["refused"],
+                "coalesced": m["coalesced"],
+                "edits": m["edits"],
+                "verified": verdict["checked"],
+                "mismatches": len(verdict["mismatches"]),
+            }
+        )
+    return {
+        "lanes": lanes,
+        "cache": _tracked_cache_stats(),
+        "all_identical": all_identical,
+    }
+
+
 SUITES = {
     "membership": bench_membership,
     "equivalence": bench_equivalence,
     "redundancy": bench_redundancy,
     "large_membership": bench_large_membership,
     "catalog": bench_catalog,
+    "service": bench_service,
 }
 
 
@@ -412,34 +491,56 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
         print(f"[bench] running suite: {name} (repeats={repeats})")
         suites[name] = runner(repeats, smoke)
         summary = suites[name]
-        print(
-            f"[bench]   median speedup over seed: "
-            f"cold {summary['median_speedup_cold']:.1f}x, "
-            f"warm {summary['median_speedup_warm']:.1f}x, "
-            f"agree={summary['all_agree']}"
-        )
+        if "median_speedup_cold" in summary:
+            print(
+                f"[bench]   median speedup over seed: "
+                f"cold {summary['median_speedup_cold']:.1f}x, "
+                f"warm {summary['median_speedup_warm']:.1f}x, "
+                f"agree={summary['all_agree']}"
+            )
         for lane in summary.get("parallel", ()):
             print(
                 f"[bench]   parallel {lane['executor']} x{lane['jobs']} "
                 f"({lane['cpus']} cpu): {lane['speedup_parallel']:.2f}x vs serial, "
                 f"identical={lane['identical_to_serial']}"
             )
+        for lane in summary.get("lanes", ()):
+            print(
+                f"[bench]   {lane['name']}: {lane['throughput_rps']:.0f} req/s, "
+                f"p50 {lane['latency_p50_s'] * 1000:.2f}ms, "
+                f"p95 {lane['latency_p95_s'] * 1000:.2f}ms, "
+                f"miss-rate {lane['deadline_miss_rate']:.3f}, "
+                f"reuse {lane['reuse']['rate']:.3f}, "
+                f"verified {lane['verified']} ({lane['mismatches']} mismatches)"
+            )
     summary_block = {}
     for name in suites:
-        entry = {
-            "median_speedup_cold": suites[name]["median_speedup_cold"],
-            "median_speedup_warm": suites[name]["median_speedup_warm"],
-            "all_agree": suites[name]["all_agree"],
-        }
+        entry: Dict[str, object] = {}
+        if "median_speedup_cold" in suites[name]:
+            entry["median_speedup_cold"] = suites[name]["median_speedup_cold"]
+            entry["median_speedup_warm"] = suites[name]["median_speedup_warm"]
+            entry["all_agree"] = suites[name]["all_agree"]
         if "parallel" in suites[name]:
             entry["parallel"] = {
                 lane["name"]: round(lane["speedup_parallel"], 3)
                 for lane in suites[name]["parallel"]
             }
             entry["all_parallel_identical"] = suites[name]["all_parallel_identical"]
+        if "lanes" in suites[name]:
+            entry["service"] = {
+                lane["name"]: {
+                    "throughput_rps": round(lane["throughput_rps"], 1),
+                    "latency_p50_s": round(lane["latency_p50_s"], 6),
+                    "latency_p95_s": round(lane["latency_p95_s"], 6),
+                    "deadline_miss_rate": round(lane["deadline_miss_rate"], 4),
+                    "reuse_rate": round(lane["reuse"]["rate"], 4),
+                }
+                for lane in suites[name]["lanes"]
+            }
+            entry["all_identical"] = suites[name]["all_identical"]
         summary_block[name] = entry
     report = {
-        "schema_version": 2,
+        "schema_version": 3,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpus": os.cpu_count(),
@@ -468,7 +569,7 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"[bench] wrote {args.output}")
 
-    if not all(entry["all_agree"] for entry in report["summary"].values()):
+    if not all(entry.get("all_agree", True) for entry in report["summary"].values()):
         print("[bench] ERROR: seed and optimised engines disagreed", file=sys.stderr)
         return 1
     if not all(
@@ -477,6 +578,15 @@ def main(argv=None) -> int:
     ):
         print(
             "[bench] ERROR: parallel catalog results were not bit-identical to serial",
+            file=sys.stderr,
+        )
+        return 1
+    if not all(
+        entry.get("all_identical", True) for entry in report["summary"].values()
+    ):
+        print(
+            "[bench] ERROR: service answers were not bit-identical to a fresh "
+            "serial CatalogAnalyzer on the same catalog state",
             file=sys.stderr,
         )
         return 1

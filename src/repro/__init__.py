@@ -20,6 +20,13 @@ Typical entry points:
 
 from repro.core import ViewAnalyzer, ViewAnalysisReport
 from repro.engine import CatalogAnalyzer, CatalogReport
+from repro.service import (
+    CatalogService,
+    DeadlinePolicy,
+    ServiceMetrics,
+    ServiceRequest,
+    ServiceResponse,
+)
 from repro.relational import (
     Attribute,
     DatabaseSchema,
@@ -66,7 +73,7 @@ from repro.views import (
 from repro.perf import cache_stats, clear_caches
 from repro.perf import configure as configure_perf
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -77,6 +84,11 @@ __all__ = [
     "ViewAnalysisReport",
     "CatalogAnalyzer",
     "CatalogReport",
+    "CatalogService",
+    "DeadlinePolicy",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
     "Attribute",
     "DatabaseSchema",
     "Instantiation",

@@ -8,15 +8,21 @@ exposes the paper's decision procedures to shell users::
     python -m repro.cli equivalent catalogue.txt ViewA ViewB
     python -m repro.cli simplify catalogue.txt                 # emit normal forms
     python -m repro.cli catalog-analyze catalogue.txt --jobs 4 # batched matrix
+    python -m repro.cli traffic --requests 200 --edit-rate 0.1 \
+        --deadline-ms 500 --jobs 4                             # simulated serving
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no"),
 and 2 on usage or input errors — so the commands compose in shell scripts.
+``catalog-analyze --json`` and ``traffic --json`` emit machine-readable JSON
+instead, matching what :class:`repro.service.CatalogService` returns over
+its API.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -82,6 +88,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shared SearchLimits.max_subsets for every batched decision",
     )
+    catalog_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON (matches the service API's answers)",
+    )
+
+    traffic = subparsers.add_parser(
+        "traffic",
+        help="run simulated request/edit traffic against a long-lived catalog service",
+    )
+    traffic.add_argument(
+        "--requests", type=int, default=100, help="number of traffic events"
+    )
+    traffic.add_argument(
+        "--edit-rate",
+        type=float,
+        default=0.1,
+        help="probability that an event is a catalog edit instead of a read",
+    )
+    traffic.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds (omit for unbounded)",
+    )
+    traffic.add_argument(
+        "--jobs", type=int, default=1, help="service worker threads for reads"
+    )
+    traffic.add_argument("--seed", type=int, default=0, help="traffic and catalog seed")
+    traffic.add_argument(
+        "--classes", type=int, default=3, help="signature classes in the synthetic catalog"
+    )
+    traffic.add_argument(
+        "--copies", type=int, default=2, help="views per signature class"
+    )
+    traffic.add_argument(
+        "--queue-limit", type=int, default=256, help="admission queue bound"
+    )
+    traffic.add_argument(
+        "--tiny-deadline-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of reads given an unmeetable deadline (deadline-path exercise)",
+    )
+    traffic.add_argument(
+        "--json", action="store_true", help="emit the traffic summary as JSON"
+    )
 
     return parser
 
@@ -127,11 +180,19 @@ def _cmd_equivalent(catalog: Catalog, first_name: str, second_name: str, out) ->
 
 
 def _cmd_catalog_analyze(
-    catalog: Catalog, jobs: int, executor: str, max_subsets: Optional[int], out
+    catalog: Catalog,
+    jobs: int,
+    executor: str,
+    max_subsets: Optional[int],
+    as_json: bool,
+    out,
 ) -> int:
     limits = SearchLimits() if max_subsets is None else SearchLimits(max_subsets=max_subsets)
     analyzer = CatalogAnalyzer(catalog, limits=limits, jobs=jobs, executor=executor)
     report = analyzer.analyze()
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+        return 0
     print(f"catalog: {len(report.names)} views", file=out)
     print(
         f"decisions: {report.decided_pairs} decided, "
@@ -151,6 +212,76 @@ def _cmd_catalog_analyze(
     return 0
 
 
+def _cmd_traffic(args, out) -> int:
+    from repro.service import run_traffic
+    from repro.workloads import SchemaSpec, random_schema, traffic_mix, view_catalog
+
+    schema = random_schema(
+        SchemaSpec(relations=4, arity=2, universe_size=5), seed=args.seed
+    )
+    catalog = view_catalog(
+        schema,
+        classes=args.classes,
+        copies_per_class=args.copies,
+        members=2,
+        atoms_per_query=2,
+        seed=args.seed,
+    )
+    deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    events = traffic_mix(
+        schema,
+        catalog,
+        requests=args.requests,
+        edit_rate=args.edit_rate,
+        seed=args.seed,
+        deadline_s=deadline_s,
+        tiny_deadline_fraction=args.tiny_deadline_fraction,
+    )
+    lane = run_traffic(
+        catalog, events, jobs=args.jobs, queue_limit=args.queue_limit
+    )
+    metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
+    summary = {
+        "events": len(events),
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(metrics.served / elapsed, 2) if elapsed > 0 else 0.0,
+        "verified": verdict["checked"],
+        "mismatches": len(verdict["mismatches"]),
+        "metrics": metrics.to_dict(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+    else:
+        m = summary["metrics"]
+        print(
+            f"traffic: {summary['events']} events over {len(catalog)} views "
+            f"in {summary['elapsed_s']}s ({summary['throughput_rps']} req/s)",
+            file=out,
+        )
+        print(
+            f"  served {m['served']} (coalesced {m['coalesced']}), "
+            f"refused {m['refused']}, edits {m['edits']}",
+            file=out,
+        )
+        print(
+            f"  latency p50 {m['latency_p50_s'] * 1000:.2f}ms, "
+            f"p95 {m['latency_p95_s'] * 1000:.2f}ms; "
+            f"deadline-miss rate {m['deadline_miss_rate']:.3f}",
+            file=out,
+        )
+        print(
+            f"  edit-stream decision reuse {m['reuse']['reused']}/"
+            f"{m['reuse']['needed']} ({m['reuse']['rate']:.3f})",
+            file=out,
+        )
+        print(
+            f"  verified {summary['verified']} exact answers against fresh "
+            f"analyzers; {summary['mismatches']} mismatches",
+            file=out,
+        )
+    return 0 if not verdict["mismatches"] else 1
+
+
 def _cmd_simplify(catalog: Catalog, out) -> int:
     simplified = {name: simplify_view(view) for name, view in catalog.views.items()}
     print(serialize_catalog(Catalog(schema=catalog.schema, views=simplified)), file=out, end="")
@@ -168,6 +299,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return int(exc.code or 0)
 
     try:
+        if args.command == "traffic":
+            return _cmd_traffic(args, out)
         catalog = _load(args.catalogue)
         if args.command == "analyze":
             return _cmd_analyze(catalog, args.view, out)
@@ -179,7 +312,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_simplify(catalog, out)
         if args.command == "catalog-analyze":
             return _cmd_catalog_analyze(
-                catalog, args.jobs, args.executor, args.max_subsets, out
+                catalog, args.jobs, args.executor, args.max_subsets, args.json, out
             )
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=out)

@@ -11,5 +11,6 @@ the design notes and :mod:`repro.engine.parallel` for the backends.
 """
 
 from repro.engine.catalog import CatalogAnalyzer, CatalogReport, view_signature
+from repro.engine.parallel import process_chunksize
 
-__all__ = ["CatalogAnalyzer", "CatalogReport", "view_signature"]
+__all__ = ["CatalogAnalyzer", "CatalogReport", "process_chunksize", "view_signature"]

@@ -133,6 +133,32 @@ class CatalogReport:
 
         return self.dominates(first, second) and self.dominates(second, first)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able rendering: what ``repro catalog-analyze --json`` emits
+        and what :class:`repro.service.CatalogService` answers over its API.
+
+        ``dominance`` is nested ``{row: {col: bool}}`` including the
+        (reflexively true) diagonal, so consumers need no pair-tuple keys.
+        """
+
+        return {
+            "names": list(self.names),
+            "dominance": {
+                row: {col: self.dominates(row, col) for col in self.names}
+                for row in self.names
+            },
+            "equivalence_classes": [list(m) for m in self.equivalence_classes],
+            "nonredundant_core": list(self.nonredundant_core),
+            "signature_classes": [list(m) for m in self.signature_classes],
+            "decided_pairs": self.decided_pairs,
+            "broadcast_pairs": self.broadcast_pairs,
+            "view_reports": (
+                None
+                if self.view_reports is None
+                else {name: report.to_dict() for name, report in sorted(self.view_reports.items())}
+            ),
+        }
+
     def matrix_lines(self) -> List[str]:
         """The dominance matrix rendered for terminals.
 
@@ -172,6 +198,11 @@ class CatalogAnalyzer:
     executor:
         ``"thread"`` (default) or ``"process"`` — see
         :mod:`repro.engine.parallel` for the trade-off.
+    chunksize:
+        Pairs per task submission on the process backend; ``None`` picks
+        :func:`repro.engine.parallel.process_chunksize`'s default (about
+        four chunks per worker).  Ignored by the serial and thread backends,
+        whose submissions carry no pickling cost to amortise.
     """
 
     def __init__(
@@ -180,6 +211,7 @@ class CatalogAnalyzer:
         limits: SearchLimits = SearchLimits(),
         jobs: int = 1,
         executor: str = "thread",
+        chunksize: Optional[int] = None,
     ) -> None:
         items = dict(views.views) if isinstance(views, Catalog) else dict(views)
         if not items:
@@ -195,10 +227,13 @@ class CatalogAnalyzer:
             raise CapacityError(
                 f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
             )
+        if chunksize is not None and chunksize < 1:
+            raise CapacityError(f"chunksize must be >= 1, got {chunksize}")
         self._views: Dict[str, View] = {name: items[name] for name in sorted(items)}
         self._limits = limits
         self._jobs = int(jobs)
         self._executor = executor
+        self._chunksize = chunksize
         # One capacity per view, all built from the one shared limits object;
         # sharing the capacity shares its generator mapping, which keys every
         # downstream construction memo.
@@ -296,7 +331,32 @@ class CatalogAnalyzer:
                 views=self._views,
             )
         )
-        return run_pairs_process(pairs, catalog_text, self._limits, self._jobs)
+        return run_pairs_process(
+            pairs, catalog_text, self._limits, self._jobs, self._chunksize
+        )
+
+    def decision_reuse(self) -> PyTuple[int, int]:
+        """``(already_decided, needed)`` representative pairs for the matrix.
+
+        ``needed`` is the number of ordered representative pairs the current
+        catalog's dominance matrix requires; ``already_decided`` counts how
+        many of them are in the decision store right now — carried over from
+        an incremental :meth:`with_view`/:meth:`without_view` derivation or
+        decided by an earlier call.  ``already_decided == needed`` means the
+        matrix is fully materialised; the ratio is the decision-reuse rate
+        that :class:`repro.service.CatalogService` reports per catalog edit.
+        """
+
+        representative = self._representatives()
+        heads = sorted(set(representative.values()))
+        needed = len(heads) * (len(heads) - 1)
+        already = sum(
+            1
+            for a in heads
+            for b in heads
+            if a != b and (a, b) in self._decisions
+        )
+        return already, needed
 
     def _ensure_decided(self) -> Dict[str, str]:
         representative = self._representatives()
@@ -429,11 +489,18 @@ class CatalogAnalyzer:
     # ---------------------------------------------------------- incremental
     def _derive(self, views: Dict[str, View]) -> "CatalogAnalyzer":
         derived = CatalogAnalyzer(
-            views, limits=self._limits, jobs=self._jobs, executor=self._executor
+            views,
+            limits=self._limits,
+            jobs=self._jobs,
+            executor=self._executor,
+            chunksize=self._chunksize,
         )
         # Decisions are pure functions of the two views and the limits, so
-        # every decided pair whose views are unchanged carries over.
-        for (a, b), outcome in self._decisions.items():
+        # every decided pair whose views are unchanged carries over.  The
+        # snapshot copy lets a service thread keep deciding pairs on *this*
+        # analyzer concurrently: iterating the live dict while another
+        # thread bulk-inserts would raise RuntimeError mid-derivation.
+        for (a, b), outcome in dict(self._decisions).items():
             if a in views and b in views:
                 if views[a] is self._views.get(a) and views[b] is self._views.get(b):
                     derived._decisions[(a, b)] = outcome
@@ -456,7 +523,7 @@ class CatalogAnalyzer:
         views[name] = view
         derived = self._derive(views)
         if old_view is not None and old_view != view:
-            for (a, b), outcome in self._decisions.items():
+            for (a, b), outcome in dict(self._decisions).items():
                 witness = outcome[2]
                 if b != name or a == name or witness is None:
                     continue

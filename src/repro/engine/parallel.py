@@ -16,10 +16,14 @@ backends:
   for *cold* catalogs, where the work is pure Python computation and only
   separate interpreters give real parallelism.  The catalog is shipped to the
   workers once, as its DSL serialisation (the library's domain objects guard
-  their immutability in ways the default pickle machinery trips over), so
-  every task is just a ``(dominating, dominated)`` name pair.  Workers return
-  ``(holds, missing-names)`` rather than full witnesses; decisions made this
-  way therefore carry no construction witnesses in the parent.
+  their immutability in ways the default pickle machinery trips over), and
+  pairs are submitted in *chunks* (:func:`process_chunksize`) so the
+  per-task pickling and dispatch overhead amortises over several decisions —
+  pool startup dominates small catalogs either way, but on big catalogs the
+  chunked submission keeps workers saturated instead of round-tripping one
+  name pair at a time.  Workers return ``(holds, missing-names)`` rather
+  than full witnesses; decisions made this way therefore carry no
+  construction witnesses in the parent.
 
 All three backends compute each matrix cell as a pure function of
 ``(dominating view, dominated view, limits)``, so their results are
@@ -39,6 +43,7 @@ __all__ = [
     "Pair",
     "PairOutcome",
     "pair_outcome",
+    "process_chunksize",
     "run_pairs_serial",
     "run_pairs_threaded",
     "run_pairs_process",
@@ -106,23 +111,47 @@ def _process_decide(pair: Pair) -> PyTuple[Pair, bool, PyTuple[str, ...]]:
     return pair, witness.holds, tuple(sorted(name.name for name in witness.missing))
 
 
+def _process_decide_chunk(
+    chunk: Sequence[Pair],
+) -> List[PyTuple[Pair, bool, PyTuple[str, ...]]]:
+    return [_process_decide(pair) for pair in chunk]
+
+
+def process_chunksize(pair_count: int, jobs: int, chunksize: Optional[int] = None) -> int:
+    """Pairs per task submission on the process backend.
+
+    An explicit ``chunksize`` wins.  The default aims at about four chunks
+    per worker: enough slack that an unlucky worker stuck on one expensive
+    decision does not leave the rest idle, while each submission still
+    amortises its pickling and dispatch overhead over several decisions.
+    """
+
+    if chunksize is not None:
+        return max(1, int(chunksize))
+    return max(1, -(-pair_count // (max(1, jobs) * 4)))
+
+
 def run_pairs_process(
     pairs: Sequence[Pair],
     catalog_text: str,
     limits: SearchLimits,
     jobs: int,
+    chunksize: Optional[int] = None,
 ) -> Dict[Pair, PairOutcome]:
     """Decide the pairs on a process pool seeded with the serialised catalog."""
 
     # astuple tracks the dataclass's field list, so a future SearchLimits
     # field cannot silently revert to its default on the process backend.
     limits_fields = astuple(limits)
+    chunk = process_chunksize(len(pairs), jobs, chunksize)
+    chunks = [tuple(pairs[i : i + chunk]) for i in range(0, len(pairs), chunk)]
     results: Dict[Pair, PairOutcome] = {}
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_process_init,
         initargs=(catalog_text, limits_fields),
     ) as pool:
-        for pair, holds, missing in pool.map(_process_decide, pairs):
-            results[pair] = (holds, missing, None)
+        for outcomes in pool.map(_process_decide_chunk, chunks):
+            for pair, holds, missing in outcomes:
+                results[pair] = (holds, missing, None)
     return results

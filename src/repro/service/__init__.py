@@ -1,0 +1,47 @@
+"""The long-lived catalog service: asyncio traffic over one analyzer.
+
+This package turns the batched :class:`repro.engine.CatalogAnalyzer` into a
+serving layer — the request/response front-end with per-request deadlines,
+bounded admission, duplicate coalescing and a serialized catalog-edit stream
+that the ROADMAP's "heavy traffic" north star calls for:
+
+* :class:`CatalogService` — the asyncio service (see
+  :mod:`repro.service.service` for the design).
+* :class:`ServiceRequest` / :class:`ServiceResponse` — the API vocabulary;
+  answers are explicit about exactness (``ok`` / ``partial`` / ``refused``).
+* :class:`DeadlinePolicy` — how deadlines map onto
+  :class:`~repro.views.closure.SearchLimits` budgets.
+* :class:`ServiceMetrics` — the observability snapshot (latency percentiles,
+  deadline-miss rate, decision-reuse rate, memo-table stats).
+* :func:`replay` / :func:`verify_replay` — drive simulated traffic
+  (:mod:`repro.workloads.traffic`) through a service and verify every exact
+  answer bit-identical against a fresh serial analyzer per catalog version.
+"""
+
+from repro.service.deadline import DeadlinePolicy
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.replay import replay, request_from_event, run_traffic, verify_replay
+from repro.service.requests import (
+    EDIT_KINDS,
+    READ_KINDS,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.service import CatalogService
+
+__all__ = [
+    "CatalogService",
+    "DeadlinePolicy",
+    "EDIT_KINDS",
+    "READ_KINDS",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "percentile",
+    "replay",
+    "request_from_event",
+    "run_traffic",
+    "verify_replay",
+]

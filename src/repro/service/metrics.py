@@ -1,0 +1,135 @@
+"""Service-level observability: latency percentiles, reuse rates, cache stats.
+
+:meth:`repro.service.CatalogService.metrics` returns a
+:class:`ServiceMetrics` snapshot that aggregates the engine-level memo-table
+counters (:func:`repro.perf.cache_stats` — hit rate, lock contention,
+eviction pressure) with the service-level counters the benchmark trajectory
+records: served/refused/coalesced request counts, queue depths, latency
+percentiles, deadline-miss rate and the incremental decision-reuse ratio of
+the edit stream.
+
+Every derived ratio is guarded against its empty-denominator edge case and
+returns ``0.0`` instead of raising — a freshly started service (no requests,
+no edits, empty tables) must snapshot cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.perf.cache import CacheStats
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` with linear interpolation.
+
+    ``fraction`` is in ``[0, 1]`` (0.5 is the median).  An empty sequence
+    yields ``0.0`` — the guarded empty-table convention of this module.
+    """
+
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """A point-in-time snapshot of a :class:`CatalogService`'s counters.
+
+    ``served`` counts completed answers (``ok`` plus ``partial``);
+    ``refused`` counts explicit refusals; ``coalesced`` counts duplicate
+    in-flight questions that shared an already-pending answer instead of
+    enqueueing.  ``deadlined`` counts requests that carried any deadline;
+    ``deadline_misses`` those among them that expired in the queue or
+    finished late.  ``reuse_reused``/``reuse_needed`` accumulate, over every
+    edit applied, how many representative dominance decisions the derived
+    analyzer inherited versus how many its matrix needed
+    (:meth:`repro.engine.CatalogAnalyzer.decision_reuse`).
+    """
+
+    served: int = 0
+    refused: int = 0
+    coalesced: int = 0
+    edits: int = 0
+    deadlined: int = 0
+    deadline_misses: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    uptime_s: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    reuse_reused: int = 0
+    reuse_needed: int = 0
+    cache: Dict[str, CacheStats] = field(default_factory=dict)
+
+    # ------------------------------------------------------- guarded ratios
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadlined requests that missed (0.0 when none carried one)."""
+
+        return self.deadline_misses / self.deadlined if self.deadlined else 0.0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Inherited representative decisions per needed one across all edits.
+
+        0.0 when no edit has been applied (or the catalog collapsed to a
+        single signature class, which needs no pairwise decisions at all).
+        """
+
+        return self.reuse_reused / self.reuse_needed if self.reuse_needed else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per second of service uptime (0.0 before start)."""
+
+        return self.served / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able rendering, cache tables included."""
+
+        return {
+            "served": self.served,
+            "refused": self.refused,
+            "coalesced": self.coalesced,
+            "edits": self.edits,
+            "deadlined": self.deadlined,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": round(self.deadline_miss_rate, 6),
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "uptime_s": self.uptime_s,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "reuse": {
+                "reused": self.reuse_reused,
+                "needed": self.reuse_needed,
+                "rate": round(self.reuse_rate, 6),
+            },
+            "cache": {
+                name: {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "hit_rate": round(stats.hit_rate, 4),
+                    "contention": stats.contention,
+                    "evictions": stats.evictions,
+                    "eviction_pressure": round(stats.eviction_pressure, 4),
+                    "size": stats.size,
+                    "maxsize": stats.maxsize,
+                }
+                for name, stats in sorted(self.cache.items())
+            },
+        }

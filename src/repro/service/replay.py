@@ -1,0 +1,205 @@
+"""Replay simulated traffic through a service and verify every answer.
+
+The traffic simulator (:mod:`repro.workloads.traffic`) produces plain
+:class:`~repro.workloads.traffic.TrafficEvent` records with no dependency on
+this package; :func:`replay` converts them into
+:class:`~repro.service.requests.ServiceRequest` submissions, keeps them
+concurrently in flight and gathers the responses in event order.
+
+:func:`verify_replay` is the honesty check the benchmark suite and tests
+share: every ``status="ok"`` answer is recomputed on a **fresh, serial**
+:class:`repro.engine.CatalogAnalyzer` built from the catalog snapshot of the
+version the service answered at, and must match bit for bit.  ``partial``
+and ``refused`` answers must carry no verdict at all — the "explicit, never
+silently wrong" half of the service contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.engine.catalog import CatalogAnalyzer
+from repro.service.deadline import DeadlinePolicy
+from repro.service.requests import ServiceRequest, ServiceResponse
+from repro.service.service import CatalogService
+from repro.views.closure import SearchLimits
+from repro.views.view import View
+
+__all__ = ["replay", "request_from_event", "run_traffic", "verify_replay"]
+
+
+def request_from_event(event) -> ServiceRequest:
+    """Build the :class:`ServiceRequest` a traffic event describes."""
+
+    return ServiceRequest(
+        kind=event.kind,
+        subject=event.subject,
+        other=event.other,
+        query=event.query,
+        view=event.view,
+        priority=event.priority,
+        deadline_s=event.deadline_s,
+    )
+
+
+async def replay(
+    service: CatalogService, events: Sequence
+) -> List[ServiceResponse]:
+    """Submit every event in order, keep them in flight, gather in order.
+
+    Submissions happen strictly in event order (each one yields to the loop
+    so the dispatcher interleaves), but responses complete as the service
+    schedules them — reads concurrently, edits serialized.
+    """
+
+    tasks: List[asyncio.Task] = []
+    for event in events:
+        tasks.append(
+            asyncio.get_running_loop().create_task(
+                service.submit(request_from_event(event))
+            )
+        )
+        await asyncio.sleep(0)
+    return list(await asyncio.gather(*tasks))
+
+
+def run_traffic(
+    catalog,
+    events: Sequence,
+    limits: SearchLimits = SearchLimits(),
+    jobs: int = 1,
+    queue_limit: Optional[int] = None,
+    policy: DeadlinePolicy = DeadlinePolicy(),
+) -> Dict[str, object]:
+    """The one verified traffic lane the CLI and benchmark harness share.
+
+    Builds a history-tracking :class:`CatalogService` over ``catalog``,
+    replays ``events``, snapshots metrics and verifies every exact answer
+    against fresh serial analyzers built with the *same base limits* the
+    service used.  Returns ``{"responses", "metrics", "history",
+    "elapsed_s", "verdict"}``; must be called from outside a running event
+    loop (it owns its own ``asyncio.run``).
+    """
+
+    async def drive():
+        async with CatalogService(
+            catalog,
+            limits=limits,
+            jobs=jobs,
+            queue_limit=queue_limit if queue_limit is not None else len(events) + 8,
+            policy=policy,
+            track_history=True,
+        ) as service:
+            started = time.perf_counter()
+            responses = await replay(service, events)
+            elapsed = time.perf_counter() - started
+            return responses, service.metrics(), service.catalog_history(), elapsed
+
+    responses, metrics, history, elapsed = asyncio.run(drive())
+    return {
+        "responses": responses,
+        "metrics": metrics,
+        "history": history,
+        "elapsed_s": elapsed,
+        "verdict": verify_replay(history, events, responses, limits),
+    }
+
+
+def _fresh_answer(
+    analyzer: CatalogAnalyzer, response: ServiceResponse, request: ServiceRequest
+):
+    kind = request.kind
+    if kind == "membership":
+        return analyzer.capacity(request.subject).explain(request.query) is not None
+    if kind == "dominance":
+        if request.subject == request.other:
+            return True
+        return analyzer.dominance_matrix()[(request.subject, request.other)]
+    if kind == "equivalence":
+        if request.subject == request.other:
+            return True
+        matrix = analyzer.dominance_matrix()
+        return (
+            matrix[(request.subject, request.other)]
+            and matrix[(request.other, request.subject)]
+        )
+    if kind == "view_report":
+        return analyzer.analyzer(request.subject).analyze().to_dict()
+    if kind == "nonredundant_core":
+        return analyzer.nonredundant_core()
+    raise ValueError(f"unverifiable kind {kind!r}")  # pragma: no cover
+
+
+def verify_replay(
+    history: Mapping[int, Mapping[str, View]],
+    events: Sequence,
+    responses: Sequence[ServiceResponse],
+    limits: SearchLimits = SearchLimits(),
+    clear_memo_tables: bool = True,
+) -> Dict[str, object]:
+    """Check every response against a fresh serial analyzer at its version.
+
+    Returns ``{"checked": n, "skipped": n, "mismatches": [...]}`` where
+    ``checked`` counts exact answers recomputed and compared, ``skipped``
+    the edit/partial/refused responses (edits have no oracle; non-exact
+    responses are only checked for carrying *no* verdict).  Fresh analyzers
+    are cached per version — several responses typically share one.
+
+    ``clear_memo_tables`` (default on) empties the process-global memo
+    tables first, so the oracle *recomputes* every answer instead of
+    replaying the service run's own cached results — without it a wrong
+    value stored in a shared table would "verify" against itself.  Snapshot
+    any timing/cache metrics before calling.
+    """
+
+    if clear_memo_tables:
+        from repro.perf.cache import clear_caches
+
+        clear_caches()
+    analyzers: Dict[int, CatalogAnalyzer] = {}
+    checked = 0
+    skipped = 0
+    mismatches: List[Dict[str, object]] = []
+    for index, (event, response) in enumerate(zip(events, responses)):
+        request = request_from_event(event)
+        if request.is_edit:
+            skipped += 1
+            continue
+        if response.status != "ok":
+            skipped += 1
+            if response.answer is not None:
+                mismatches.append(
+                    {
+                        "index": index,
+                        "kind": response.kind,
+                        "error": f"non-ok response carries a verdict: {response.answer!r}",
+                    }
+                )
+            continue
+        version = response.version
+        if version not in analyzers:
+            if version not in history:
+                mismatches.append(
+                    {
+                        "index": index,
+                        "kind": response.kind,
+                        "error": f"no catalog snapshot for version {version}",
+                    }
+                )
+                continue
+            analyzers[version] = CatalogAnalyzer(dict(history[version]), limits=limits)
+        expected = _fresh_answer(analyzers[version], response, request)
+        checked += 1
+        if expected != response.answer:
+            mismatches.append(
+                {
+                    "index": index,
+                    "kind": response.kind,
+                    "version": version,
+                    "expected": expected,
+                    "got": response.answer,
+                }
+            )
+    return {"checked": checked, "skipped": skipped, "mismatches": mismatches}

@@ -1,0 +1,180 @@
+"""Request/response vocabulary of the catalog service.
+
+A :class:`ServiceRequest` names one question (or one catalog edit) a client
+wants answered; a :class:`ServiceResponse` carries the outcome together with
+the bookkeeping the service contract promises:
+
+* ``status`` is one of ``"ok"`` (exact answer under the service's base
+  budgets), ``"partial"`` (the deadline forced reduced
+  :class:`~repro.views.closure.SearchLimits` budgets and the truncated
+  search proved nothing — the answer is explicitly *unknown*, never a
+  silently wrong ``False``) or ``"refused"`` (nothing was computed: the
+  deadline expired in the queue, fell below the policy floor, the admission
+  queue was full, or the request was invalid).
+* ``version`` is the catalog edit-stream version the answer was computed
+  against, so callers can replay-verify any response against a fresh
+  :class:`repro.engine.CatalogAnalyzer` on that exact catalog state.
+* ``deadline_missed`` records the wall-clock verdict separately from the
+  budget mapping: an answer can be exact and still late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.exceptions import ReproError
+from repro.relalg.ast import Expression
+from repro.views.view import View
+
+__all__ = [
+    "READ_KINDS",
+    "EDIT_KINDS",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceError",
+]
+
+#: Question kinds a service answers; all are side-effect free.
+READ_KINDS = (
+    "membership",
+    "dominance",
+    "equivalence",
+    "view_report",
+    "nonredundant_core",
+)
+
+#: Edit-stream kinds; applied serially, each bumps the catalog version.
+EDIT_KINDS = ("add_view", "drop_view")
+
+#: Default request priority; smaller numbers are served first.
+DEFAULT_PRIORITY = 10
+
+#: Largest accepted priority — far above any sane value, far below the
+#: service's internal shutdown sentinel, so no request can sort behind it
+#: and be stranded unresolved at close.
+MAX_PRIORITY = 1 << 30
+
+
+class ServiceError(ReproError):
+    """An invalid service request or a misused service lifecycle."""
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One question for, or one edit of, a :class:`CatalogService` catalog.
+
+    ``subject``/``other`` name catalog views (``other`` only for the binary
+    dominance/equivalence kinds); ``query`` is the membership goal;
+    ``view`` is the ``add_view`` payload.  ``deadline_s`` is the
+    caller's end-to-end budget in seconds from submission — ``None`` means
+    unbounded.  ``priority`` orders the admission queue (smaller first;
+    ties served in submission order).
+    """
+
+    kind: str
+    subject: Optional[str] = None
+    other: Optional[str] = None
+    query: Optional[Expression] = None
+    view: Optional[View] = None
+    priority: int = DEFAULT_PRIORITY
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in READ_KINDS + EDIT_KINDS:
+            raise ServiceError(
+                f"unknown request kind {self.kind!r}; expected one of "
+                f"{READ_KINDS + EDIT_KINDS}"
+            )
+        if self.kind in ("membership", "dominance", "equivalence", "view_report",
+                         "add_view", "drop_view") and not self.subject:
+            raise ServiceError(f"a {self.kind!r} request needs a subject view name")
+        if self.kind in ("dominance", "equivalence") and not self.other:
+            raise ServiceError(f"a {self.kind!r} request needs a second view name")
+        if self.kind == "membership" and self.query is None:
+            raise ServiceError("a membership request needs a query")
+        if self.kind == "add_view" and self.view is None:
+            raise ServiceError("an add_view request needs the view payload")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ServiceError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if not 0 <= self.priority <= MAX_PRIORITY:
+            raise ServiceError(
+                f"priority must be in [0, {MAX_PRIORITY}], got {self.priority}"
+            )
+
+    @property
+    def is_edit(self) -> bool:
+        """Whether this request mutates the catalog (serialized edit stream)."""
+
+        return self.kind in EDIT_KINDS
+
+    def coalesce_key(self, version: int) -> Optional[Hashable]:
+        """The in-flight dedup key, or ``None`` for edits (never coalesced).
+
+        Two reads coalesce only when they ask the same question *of the same
+        catalog version* under the *same deadline and priority*: the version
+        term keeps a post-edit duplicate from being answered with a pre-edit
+        result; the deadline term keeps an unbounded request from inheriting
+        a tiny-deadline duplicate's refusal (or a deadlined request from
+        silently escaping deadline enforcement by riding an unbounded one);
+        the priority term keeps an urgent duplicate from inheriting a
+        low-priority leader's queue position (priority inversion).
+        Expressions are hashable, so the key is a plain tuple.
+        """
+
+        if self.is_edit:
+            return None
+        return (
+            version,
+            self.kind,
+            self.subject,
+            self.other,
+            self.query,
+            self.deadline_s,
+            self.priority,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The service's answer to one :class:`ServiceRequest`.
+
+    ``answer`` is a ``bool`` for membership/dominance/equivalence, a
+    JSON-able dict for ``view_report``, a name tuple for
+    ``nonredundant_core``, a small stats dict for edits — and ``None``
+    whenever ``status`` is not ``"ok"``.
+    """
+
+    kind: str
+    status: str  # "ok" | "partial" | "refused"
+    answer: object = None
+    reason: str = ""
+    version: int = 0
+    tier: str = "base"  # "base" | "reduced" — which SearchLimits served it
+    waited_s: float = 0.0
+    latency_s: float = 0.0
+    deadline_missed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the answer is exact (computed under the base budgets)."""
+
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """A JSON-able rendering (tuples become lists)."""
+
+        answer = self.answer
+        if isinstance(answer, tuple):
+            answer = list(answer)
+        return {
+            "kind": self.kind,
+            "status": self.status,
+            "answer": answer,
+            "reason": self.reason,
+            "version": self.version,
+            "tier": self.tier,
+            "waited_s": self.waited_s,
+            "latency_s": self.latency_s,
+            "deadline_missed": self.deadline_missed,
+        }

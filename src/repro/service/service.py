@@ -1,0 +1,645 @@
+"""The long-lived asyncio catalog service.
+
+:class:`CatalogService` is the request/response front-end the ROADMAP's
+north star asks for: one :class:`repro.engine.CatalogAnalyzer` serving
+sustained concurrent traffic — membership, dominance, equivalence, per-view
+reports, the nonredundant core — while absorbing a serialized stream of
+catalog edits through the engine's incremental
+:meth:`~repro.engine.CatalogAnalyzer.with_view` /
+:meth:`~repro.engine.CatalogAnalyzer.without_view` paths.
+
+Design:
+
+* **One dispatcher, bounded admission.**  Requests enter a bounded
+  :class:`asyncio.PriorityQueue`; a full queue refuses immediately
+  (backpressure) rather than buffering without limit.  A single dispatcher
+  coroutine pops items in ``(priority, submission order)`` order.
+* **Reads fan out, edits serialize.**  Read requests are handed to a
+  thread-pool executor (``jobs`` workers) over the engine's lock-guarded
+  memo tables and run concurrently; edit requests are applied *inline* by
+  the dispatcher — one at a time, never overlapping another edit — and swap
+  the service's analyzer for the incrementally derived one.  Reads already
+  in flight keep the analyzer object they captured, so they answer
+  consistently against the version they started on; the response carries
+  that version.
+* **Coalescing.**  Duplicate in-flight questions (same kind, same
+  arguments, same catalog version) share one pending answer instead of
+  enqueueing again.
+* **Deadlines, explicitly.**  Each request's remaining time is mapped onto
+  :class:`~repro.views.closure.SearchLimits` budgets by a
+  :class:`~repro.service.deadline.DeadlinePolicy`; truncated searches
+  return explicit ``partial`` answers and hopeless deadlines explicit
+  refusals — the service never converts a truncated search into a negative
+  verdict (see :mod:`repro.service.deadline`).
+* **Reuse accounting.**  Every edit records how many representative
+  dominance decisions the derived analyzer inherited versus how many its
+  matrix needed (:meth:`CatalogAnalyzer.decision_reuse`); the running ratio
+  is the edit stream's decision-reuse rate, surfaced in :meth:`metrics`
+  next to the memo-table hit rates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Deque, Dict, Hashable, Optional, Set
+
+from repro.engine.catalog import CatalogAnalyzer, ViewsInput
+from repro.exceptions import ReproError
+from repro.perf.cache import cache_stats
+from repro.relalg.ast import Expression
+from repro.service.deadline import DeadlinePolicy, TIER_BASE, TIER_REFUSE
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.requests import (
+    DEFAULT_PRIORITY,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.views.capacity import QueryCapacity
+from repro.views.closure import SearchLimits
+from repro.views.view import View
+
+__all__ = ["CatalogService"]
+
+#: Priority used for the internal shutdown sentinel — sorts after any real
+#: request priority, so the queue drains before the dispatcher exits.
+_SENTINEL_PRIORITY = 1 << 62
+
+#: Latency samples kept for the percentile snapshot.  A bounded recent
+#: window keeps a long-lived service's memory and metrics() cost constant;
+#: p50/p95 over the window track the current behaviour, which is what an
+#: operator dashboard wants anyway.
+_LATENCY_WINDOW = 4096
+
+
+class _WorkItem:
+    __slots__ = ("request", "future", "enqueued", "key")
+
+    def __init__(self, request, future, enqueued, key):
+        self.request = request
+        self.future = future
+        self.enqueued = enqueued
+        self.key = key
+
+
+class CatalogService:
+    """An asyncio request/response façade over one :class:`CatalogAnalyzer`.
+
+    Parameters
+    ----------
+    views:
+        The initial catalog (same accepted shapes as ``CatalogAnalyzer``).
+    limits:
+        The service's *base* search budgets; every ``status="ok"`` answer is
+        computed under exactly these, so it is bit-identical to a direct
+        serial ``CatalogAnalyzer(views, limits=limits)`` run on the same
+        catalog version.
+    jobs:
+        Thread-pool workers serving read requests concurrently.
+    queue_limit:
+        Admission-queue bound; submissions beyond it are refused.
+    policy:
+        The deadline-to-budget mapping (:class:`DeadlinePolicy`).
+    track_history:
+        Keep ``{version: views}`` snapshots so a replay harness can verify
+        every answer against a fresh analyzer on the exact catalog state it
+        was computed from.  Cheap for test/benchmark catalogs; off by
+        default for long-lived serving.
+    clock:
+        Monotonic time source (injectable for tests).
+
+    Use as an async context manager, or call :meth:`start`/:meth:`close`.
+    """
+
+    def __init__(
+        self,
+        views: ViewsInput,
+        limits: SearchLimits = SearchLimits(),
+        jobs: int = 1,
+        queue_limit: int = 64,
+        policy: DeadlinePolicy = DeadlinePolicy(),
+        track_history: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if jobs < 1:
+            raise ServiceError(f"jobs must be >= 1, got {jobs}")
+        if queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._analyzer = CatalogAnalyzer(views, limits=limits)
+        self._limits = limits
+        self._jobs = int(jobs)
+        self._queue_limit = int(queue_limit)
+        self._policy = policy
+        self._clock = clock
+        self._version = 0
+        self._history: Optional[Dict[int, Dict[str, View]]] = (
+            {0: self._analyzer.views} if track_history else None
+        )
+        # Lifecycle state, created in start().
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._serve_tasks: Set[asyncio.Task] = set()
+        self._inflight: Dict[Hashable, asyncio.Future] = {}
+        self._seq = itertools.count()
+        self._started_at: Optional[float] = None
+        # Counters (event-loop thread only, so plain ints are safe).
+        self._served = 0
+        self._refused = 0
+        self._coalesced = 0
+        self._edits = 0
+        self._deadlined = 0
+        self._deadline_misses = 0
+        self._max_queue_depth = 0
+        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._reuse_reused = 0
+        self._reuse_needed = 0
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> "CatalogService":
+        """Create the queue, executor and dispatcher inside the running loop."""
+
+        if self._dispatcher is not None:
+            raise ServiceError("the service is already running")
+        self._queue = asyncio.PriorityQueue(maxsize=self._queue_limit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._jobs, thread_name_prefix="repro-service"
+        )
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch(self._queue)
+        )
+        self._started_at = self._clock()
+        return self
+
+    async def close(self) -> None:
+        """Drain the queue, finish in-flight reads and release the executor.
+
+        New submissions are rejected from the very first line — before any
+        await — so a ``submit`` racing ``close`` raises :class:`ServiceError`
+        instead of enqueueing onto a queue no dispatcher will ever pop.
+        """
+
+        if self._dispatcher is None:
+            return
+        queue, self._queue = self._queue, None
+        await queue.put((_SENTINEL_PRIORITY, next(self._seq), None))
+        await self._dispatcher
+        if self._serve_tasks:
+            await asyncio.gather(*tuple(self._serve_tasks))
+        self._executor.shutdown(wait=True)
+        self._dispatcher = None
+        self._executor = None
+
+    async def __aenter__(self) -> "CatalogService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def version(self) -> int:
+        """The edit-stream version (number of edits applied so far)."""
+
+        return self._version
+
+    @property
+    def limits(self) -> SearchLimits:
+        """The base search budgets of every exact (``ok``) answer."""
+
+        return self._limits
+
+    @property
+    def analyzer(self) -> CatalogAnalyzer:
+        """The current analyzer (swapped atomically by the edit stream)."""
+
+        return self._analyzer
+
+    def catalog_history(self) -> Dict[int, Dict[str, View]]:
+        """``{version: views}`` snapshots (requires ``track_history=True``)."""
+
+        if self._history is None:
+            raise ServiceError(
+                "catalog history is not tracked; construct the service with "
+                "track_history=True"
+            )
+        return {version: dict(views) for version, views in self._history.items()}
+
+    # ------------------------------------------------------------ submission
+    async def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Admit one request and await its response.
+
+        Duplicate in-flight questions coalesce onto the pending answer; a
+        full admission queue refuses immediately.
+        """
+
+        if self._queue is None:
+            raise ServiceError("the service is not running; use 'async with'")
+        now = self._clock()
+        key = request.coalesce_key(self._version)
+        if key is not None and key in self._inflight:
+            self._coalesced += 1
+            return await asyncio.shield(self._inflight[key])
+        future = asyncio.get_running_loop().create_future()
+        item = _WorkItem(request, future, now, key)
+        try:
+            self._queue.put_nowait((request.priority, next(self._seq), item))
+        except asyncio.QueueFull:
+            self._refused += 1
+            return ServiceResponse(
+                kind=request.kind,
+                status="refused",
+                reason=f"admission queue full ({self._queue_limit} pending)",
+                version=self._version,
+            )
+        if key is not None:
+            self._inflight[key] = future
+            future.add_done_callback(lambda _f, k=key: self._inflight.pop(k, None))
+        self._max_queue_depth = max(self._max_queue_depth, self._queue.qsize())
+        return await future
+
+    # Convenience wrappers -------------------------------------------------
+    async def membership(
+        self,
+        view_name: str,
+        query: Expression,
+        priority: int = DEFAULT_PRIORITY,
+        deadline_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Is ``query`` answerable through the named view's capacity?"""
+
+        return await self.submit(
+            ServiceRequest(
+                kind="membership",
+                subject=view_name,
+                query=query,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        )
+
+    async def dominance(
+        self,
+        first: str,
+        second: str,
+        priority: int = DEFAULT_PRIORITY,
+        deadline_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Does ``first`` dominate ``second`` (``Cap(second) <= Cap(first)``)?"""
+
+        return await self.submit(
+            ServiceRequest(
+                kind="dominance",
+                subject=first,
+                other=second,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        )
+
+    async def equivalence(
+        self,
+        first: str,
+        second: str,
+        priority: int = DEFAULT_PRIORITY,
+        deadline_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Do the two views have equal query capacity?"""
+
+        return await self.submit(
+            ServiceRequest(
+                kind="equivalence",
+                subject=first,
+                other=second,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        )
+
+    async def view_report(
+        self,
+        view_name: str,
+        priority: int = DEFAULT_PRIORITY,
+        deadline_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        """The full per-view analysis report (as a JSON-able dict)."""
+
+        return await self.submit(
+            ServiceRequest(
+                kind="view_report",
+                subject=view_name,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        )
+
+    async def nonredundant_core(
+        self,
+        priority: int = DEFAULT_PRIORITY,
+        deadline_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        """The catalog's minimal dominating subset at the current version."""
+
+        return await self.submit(
+            ServiceRequest(
+                kind="nonredundant_core", priority=priority, deadline_s=deadline_s
+            )
+        )
+
+    async def add_view(
+        self, name: str, view: View, priority: int = DEFAULT_PRIORITY
+    ) -> ServiceResponse:
+        """Add or replace a view; applied serially, bumps the catalog version."""
+
+        return await self.submit(
+            ServiceRequest(kind="add_view", subject=name, view=view, priority=priority)
+        )
+
+    async def drop_view(
+        self, name: str, priority: int = DEFAULT_PRIORITY
+    ) -> ServiceResponse:
+        """Drop a view; applied serially, bumps the catalog version."""
+
+        return await self.submit(
+            ServiceRequest(kind="drop_view", subject=name, priority=priority)
+        )
+
+    # -------------------------------------------------------------- metrics
+    def metrics(self) -> ServiceMetrics:
+        """A snapshot aggregating service counters with the memo-table stats."""
+
+        uptime = self._clock() - self._started_at if self._started_at is not None else 0.0
+        return ServiceMetrics(
+            served=self._served,
+            refused=self._refused,
+            coalesced=self._coalesced,
+            edits=self._edits,
+            deadlined=self._deadlined,
+            deadline_misses=self._deadline_misses,
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            max_queue_depth=self._max_queue_depth,
+            uptime_s=uptime,
+            latency_p50_s=percentile(self._latencies, 0.5),
+            latency_p95_s=percentile(self._latencies, 0.95),
+            reuse_reused=self._reuse_reused,
+            reuse_needed=self._reuse_needed,
+            cache=cache_stats(),
+        )
+
+    # ------------------------------------------------------------ dispatcher
+    async def _dispatch(self, queue: asyncio.PriorityQueue) -> None:
+        # The queue is bound at task creation: close() nulls self._queue
+        # (possibly before this coroutine ever runs), but the dispatcher
+        # must keep draining what was admitted.
+        # Real backpressure needs the bound to cover dispatched-but-
+        # unfinished work, not just undispatched queue items: without this
+        # cap the dispatcher would pop every read straight into the
+        # executor's unbounded internal queue and `queue_limit` would never
+        # fill.  Two serve tasks per worker keep the pool saturated while
+        # overload piles up where submit() can see (and refuse) it.
+        max_inflight = self._jobs * 2
+        while True:
+            _priority, _seq, item = await queue.get()
+            if item is None:
+                return
+            if item.request.is_edit:
+                # Edits serialize: applied inline, one at a time.  Reads
+                # dispatched earlier keep running on the analyzer they
+                # captured; reads dispatched later see the new version.
+                await self._apply_edit(item)
+            else:
+                while len(self._serve_tasks) >= max_inflight:
+                    await asyncio.wait(
+                        tuple(self._serve_tasks),
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                task = asyncio.get_running_loop().create_task(self._serve(item))
+                self._serve_tasks.add(task)
+                task.add_done_callback(self._serve_tasks.discard)
+
+    def _resolve(self, item: _WorkItem, response: ServiceResponse) -> None:
+        if not item.future.done():
+            item.future.set_result(response)
+
+    def _finish(
+        self,
+        item: _WorkItem,
+        *,
+        status: str,
+        answer: object = None,
+        reason: str = "",
+        tier: str = TIER_BASE,
+        version: Optional[int] = None,
+        queue_wait: Optional[float] = None,
+    ) -> None:
+        now = self._clock()
+        latency = max(0.0, now - item.enqueued)
+        waited = latency if queue_wait is None else max(0.0, queue_wait)
+        deadline = item.request.deadline_s
+        missed = deadline is not None and latency > deadline
+        if deadline is not None:
+            self._deadlined += 1
+            if missed:
+                self._deadline_misses += 1
+        if status == "refused":
+            self._refused += 1
+        else:
+            self._served += 1
+            self._latencies.append(latency)
+        self._resolve(
+            item,
+            ServiceResponse(
+                kind=item.request.kind,
+                status=status,
+                answer=answer,
+                reason=reason,
+                version=self._version if version is None else version,
+                tier=tier,
+                waited_s=waited,
+                latency_s=latency,
+                deadline_missed=missed,
+            ),
+        )
+
+    # ------------------------------------------------------------ edit path
+    async def _apply_edit(self, item: _WorkItem) -> None:
+        request = item.request
+        loop = asyncio.get_running_loop()
+        previous = self._analyzer
+        try:
+            if request.kind == "add_view":
+                derived = await loop.run_in_executor(
+                    self._executor,
+                    lambda: previous.with_view(request.subject, request.view),
+                )
+            else:
+                derived = await loop.run_in_executor(
+                    self._executor, lambda: previous.without_view(request.subject)
+                )
+            reused, needed = derived.decision_reuse()
+            # Materialise the matrix eagerly so the edit pays the decision
+            # delta itself and subsequent reads stay warm.
+            await loop.run_in_executor(self._executor, derived.dominance_matrix)
+        except Exception as error:  # noqa: BLE001 — the dispatcher must survive
+            # Any escape here would kill the dispatcher and hang every
+            # pending submitter, so *all* failures resolve the future; the
+            # catalog is left exactly as it was (no version bump).
+            self._finish(
+                item, status="refused", reason=f"{type(error).__name__}: {error}"
+            )
+            return
+        self._analyzer = derived
+        self._version += 1
+        self._edits += 1
+        self._reuse_reused += reused
+        self._reuse_needed += needed
+        if self._history is not None:
+            self._history[self._version] = derived.views
+        self._finish(
+            item,
+            status="ok",
+            answer={
+                "version": self._version,
+                "decisions_reused": reused,
+                "decisions_needed": needed,
+                "views": len(derived.names),
+            },
+        )
+
+    # ------------------------------------------------------------ read path
+    async def _serve(self, item: _WorkItem) -> None:
+        request = item.request
+        now = self._clock()
+        waited = now - item.enqueued
+        remaining: Optional[float] = None
+        if request.deadline_s is not None:
+            remaining = request.deadline_s - waited
+            if remaining <= 0:
+                self._finish(
+                    item,
+                    status="refused",
+                    reason=(
+                        f"deadline of {request.deadline_s:.3f}s expired after "
+                        f"{waited:.3f}s in the queue"
+                    ),
+                    queue_wait=waited,
+                )
+                return
+        tier, limits = self._policy.limits_for(remaining, self._limits)
+        if tier == TIER_REFUSE:
+            self._finish(
+                item,
+                status="refused",
+                reason=(
+                    f"remaining deadline {remaining:.4f}s is below the service "
+                    f"floor of {self._policy.floor_s:.4f}s"
+                ),
+                queue_wait=waited,
+            )
+            return
+        # Snapshot the analyzer/version pair atomically (single-threaded
+        # event loop; edits swap both together with no await in between).
+        analyzer = self._analyzer
+        version = self._version
+        loop = asyncio.get_running_loop()
+        try:
+            status, answer, reason = await loop.run_in_executor(
+                self._executor,
+                lambda: self._answer(analyzer, request, tier, limits),
+            )
+        except ReproError as error:
+            self._finish(
+                item,
+                status="refused",
+                reason=str(error),
+                version=version,
+                queue_wait=waited,
+            )
+            return
+        except Exception as error:  # noqa: BLE001 — never leave a caller hanging
+            self._finish(
+                item,
+                status="refused",
+                reason=f"internal error: {type(error).__name__}: {error}",
+                version=version,
+                queue_wait=waited,
+            )
+            return
+        self._finish(
+            item,
+            status=status,
+            answer=answer,
+            reason=reason,
+            tier=tier,
+            version=version,
+            queue_wait=waited,
+        )
+
+    def _answer(
+        self,
+        analyzer: CatalogAnalyzer,
+        request: ServiceRequest,
+        tier: str,
+        limits: SearchLimits,
+    ):
+        """Compute one read answer (runs on an executor thread).
+
+        Base tier: exact answers through the shared analyzer — bit-identical
+        to a direct serial ``CatalogAnalyzer`` run at the same version.
+        Reduced tier: membership runs the truncated search (positives are
+        sound witnesses, failed searches are explicit unknowns); the
+        catalog-level questions are served exactly when the analyzer's
+        matrix is already materialised (a table probe, effectively free) and
+        refused otherwise — a truncated matrix would risk wrong verdicts.
+        """
+
+        kind = request.kind
+        if kind == "membership":
+            view = analyzer.view(request.subject)
+            if tier == TIER_BASE:
+                found = analyzer.capacity(request.subject).explain(request.query)
+                return "ok", found is not None, ""
+            found = QueryCapacity(view, limits).explain(request.query)
+            if found is not None:
+                # A construction is a sound witness at any budget.
+                return "ok", True, "witness found under reduced budgets"
+            return (
+                "partial",
+                None,
+                "budget-limited search found no construction; membership unknown",
+            )
+        if tier != TIER_BASE:
+            reused, needed = analyzer.decision_reuse()
+            if reused < needed or kind == "view_report":
+                return (
+                    "refused",
+                    None,
+                    f"deadline too small for a cold {kind} answer; retry without "
+                    "a deadline or after the catalog matrix is warm",
+                )
+        if kind == "dominance":
+            analyzer.view(request.subject), analyzer.view(request.other)
+            if request.subject == request.other:
+                return "ok", True, ""
+            matrix = analyzer.dominance_matrix()
+            return "ok", matrix[(request.subject, request.other)], ""
+        if kind == "equivalence":
+            analyzer.view(request.subject), analyzer.view(request.other)
+            if request.subject == request.other:
+                return "ok", True, ""
+            matrix = analyzer.dominance_matrix()
+            both = (
+                matrix[(request.subject, request.other)]
+                and matrix[(request.other, request.subject)]
+            )
+            return "ok", both, ""
+        if kind == "view_report":
+            report = analyzer.analyzer(request.subject).analyze()
+            return "ok", report.to_dict(), ""
+        if kind == "nonredundant_core":
+            return "ok", analyzer.nonredundant_core(), ""
+        raise ServiceError(f"unserveable request kind {kind!r}")  # pragma: no cover

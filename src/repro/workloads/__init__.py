@@ -23,6 +23,7 @@ from repro.workloads.synthetic import (
     redundant_view,
     view_catalog,
 )
+from repro.workloads.traffic import TrafficEvent, traffic_mix
 
 __all__ = [
     "Example222",
@@ -44,4 +45,6 @@ __all__ = [
     "random_view",
     "redundant_view",
     "view_catalog",
+    "TrafficEvent",
+    "traffic_mix",
 ]

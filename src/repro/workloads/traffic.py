@@ -1,0 +1,195 @@
+"""Deterministic traffic simulator for the catalog service.
+
+:func:`traffic_mix` turns a catalog (typically a
+:func:`~repro.workloads.synthetic.view_catalog` instance) into a seeded
+sequence of :class:`TrafficEvent` records — the read/edit mix a long-lived
+:class:`repro.service.CatalogService` absorbs.  The generator is plain data
+with no service dependency; :func:`repro.service.replay` converts events to
+requests.
+
+Shape of the mix:
+
+* **Reads** interrogate the *base* catalog names only (membership,
+  dominance, equivalence, per-view report, nonredundant core).  Base names
+  are never dropped, so a priority-reordered read can never reference a
+  view that does not exist yet.
+* **Edits** operate on synthetic extra names (``Tadd0``, ``Tadd1``, …):
+  an ``add_view`` installs either a renamed copy of a base view (the
+  signature-class dedup case — the incremental path reuses every decision)
+  or a genuinely new random view (new decisions needed); a ``drop_view``
+  removes a previously added extra.  Base reads stay valid throughout while
+  the catalog-level answers (the nonredundant core) genuinely change with
+  the version, which is what the replay verifier exercises.
+* **Deadlines** default to ``deadline_s`` on every read; a seeded
+  ``tiny_deadline_fraction`` of reads instead get ``tiny_deadline_s`` —
+  small enough to refuse or degrade explicitly, exercising the
+  deadline-enforcement path of the service under measurement.
+
+Everything is driven by one :class:`random.Random` seed, so a traffic run
+is reproducible event for event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exceptions import WorkloadError
+from repro.relalg.ast import Expression
+from repro.relational.schema import DatabaseSchema
+from repro.views.view import View
+from repro.workloads.synthetic import random_expression, random_view
+
+__all__ = ["TrafficEvent", "traffic_mix"]
+
+#: Relative weights of the read kinds in the generated mix.
+_READ_WEIGHTS = (
+    ("membership", 8),
+    ("dominance", 4),
+    ("equivalence", 3),
+    ("view_report", 1),
+    ("nonredundant_core", 3),
+)
+
+#: The weights expanded once for ``rng.choice`` (kept as a constant so every
+#: event does not rebuild the same 19-element list).
+_READ_KIND_POOL = tuple(kind for kind, weight in _READ_WEIGHTS for _ in range(weight))
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One simulated request: a read question or a catalog edit.
+
+    Field semantics mirror :class:`repro.service.ServiceRequest`; the
+    dataclass stays dependency-free so workload generation does not import
+    the service layer.
+    """
+
+    kind: str
+    subject: Optional[str] = None
+    other: Optional[str] = None
+    query: Optional[Expression] = None
+    view: Optional[View] = None
+    priority: int = 10
+    deadline_s: Optional[float] = None
+
+
+def _pick_read(
+    rng: random.Random,
+    base_names: List[str],
+    catalog: Dict[str, View],
+    schema: DatabaseSchema,
+) -> TrafficEvent:
+    kind = rng.choice(_READ_KIND_POOL)
+    if kind == "membership":
+        subject = rng.choice(base_names)
+        if rng.random() < 0.5:
+            # A defining query of some base view: positive against its own
+            # view, and a non-trivial question against any other.
+            source = catalog[rng.choice(base_names)]
+            query = rng.choice(list(source.defining_queries))
+        else:
+            query = random_expression(schema, atoms=2, rng=rng)
+        return TrafficEvent(kind=kind, subject=subject, query=query)
+    if kind in ("dominance", "equivalence"):
+        subject = rng.choice(base_names)
+        other = rng.choice(base_names)
+        return TrafficEvent(kind=kind, subject=subject, other=other)
+    if kind == "view_report":
+        return TrafficEvent(kind=kind, subject=rng.choice(base_names))
+    return TrafficEvent(kind="nonredundant_core")
+
+
+def _pick_edit(
+    rng: random.Random,
+    base_names: List[str],
+    catalog: Dict[str, View],
+    schema: DatabaseSchema,
+    added: List[str],
+    edit_seq: int,
+) -> TrafficEvent:
+    if added and rng.random() < 0.4:
+        name = rng.choice(added)
+        added.remove(name)
+        return TrafficEvent(kind="drop_view", subject=name)
+    name = f"Tadd{edit_seq}"
+    if rng.random() < 0.5:
+        # A renamed copy of a base view: same signature class, so the
+        # incremental derivation inherits every representative decision.
+        base = catalog[rng.choice(base_names)]
+        view = base.renamed(
+            {member.name: f"{member.name}t{edit_seq}" for member in base.view_names}
+        )
+    else:
+        view = random_view(
+            schema,
+            members=2,
+            atoms_per_query=2,
+            seed=edit_seq * 7919 + 13,
+            name_prefix=f"TE{edit_seq}V",
+        )
+    added.append(name)
+    return TrafficEvent(kind="add_view", subject=name, view=view)
+
+
+def traffic_mix(
+    schema: DatabaseSchema,
+    catalog: Dict[str, View],
+    requests: int = 50,
+    edit_rate: float = 0.1,
+    seed: int = 0,
+    deadline_s: Optional[float] = None,
+    tiny_deadline_fraction: float = 0.0,
+    tiny_deadline_s: float = 1e-6,
+    urgent_fraction: float = 0.2,
+) -> List[TrafficEvent]:
+    """A seeded sequence of ``requests`` events over ``catalog``.
+
+    ``edit_rate`` is the probability that any given slot is a catalog edit
+    instead of a read; ``tiny_deadline_fraction`` of the *reads* carry the
+    effectively-unmeetable ``tiny_deadline_s`` instead of ``deadline_s``;
+    ``urgent_fraction`` of the reads are submitted at priority 5 instead of
+    the default 10 (still safe under reordering — reads only reference base
+    catalog names, which no edit removes).
+    """
+
+    if requests < 1:
+        raise WorkloadError("a traffic mix needs at least one request")
+    if not catalog:
+        raise WorkloadError("a traffic mix needs a nonempty catalog")
+    if not 0.0 <= edit_rate <= 1.0:
+        raise WorkloadError(f"edit_rate must be in [0, 1], got {edit_rate}")
+    if not 0.0 <= tiny_deadline_fraction <= 1.0:
+        raise WorkloadError(
+            f"tiny_deadline_fraction must be in [0, 1], got {tiny_deadline_fraction}"
+        )
+    rng = random.Random(seed)
+    base_names = sorted(catalog)
+    added: List[str] = []
+    events: List[TrafficEvent] = []
+    edit_seq = 0
+    for _ in range(requests):
+        if rng.random() < edit_rate:
+            events.append(
+                _pick_edit(rng, base_names, catalog, schema, added, edit_seq)
+            )
+            edit_seq += 1
+            continue
+        event = _pick_read(rng, base_names, catalog, schema)
+        effective_deadline = deadline_s
+        if tiny_deadline_fraction and rng.random() < tiny_deadline_fraction:
+            effective_deadline = tiny_deadline_s
+        priority = 5 if rng.random() < urgent_fraction else 10
+        events.append(
+            TrafficEvent(
+                kind=event.kind,
+                subject=event.subject,
+                other=event.other,
+                query=event.query,
+                view=event.view,
+                priority=priority,
+                deadline_s=effective_deadline,
+            )
+        )
+    return events

@@ -154,6 +154,28 @@ class TestParallelDeterminism:
         ).dominance_matrix()
         assert processed == serial
 
+    @pytest.mark.parametrize("chunksize", [1, 3, 100])
+    def test_process_pool_chunked_identical(self, small_catalog, chunksize):
+        # The chunked submission is a dispatch optimisation only: any chunk
+        # size (smaller, straddling, larger than the pair count) must produce
+        # the exact serial matrix.
+        serial = CatalogAnalyzer(small_catalog, jobs=1).dominance_matrix()
+        chunked = CatalogAnalyzer(
+            small_catalog, jobs=2, executor="process", chunksize=chunksize
+        ).dominance_matrix()
+        assert chunked == serial
+
+    def test_process_chunksize_heuristic(self):
+        from repro.engine import process_chunksize
+
+        # Explicit chunk sizes win and are floored at 1.
+        assert process_chunksize(240, 4, chunksize=7) == 7
+        assert process_chunksize(240, 4, chunksize=0) == 1
+        # The default targets about four chunks per worker.
+        assert process_chunksize(240, 4) == 15
+        assert process_chunksize(3, 4) == 1
+        assert process_chunksize(0, 4) == 1
+
     def test_many_threads_on_one_catalog_object(self, random_catalog):
         # Thread-safety of the shared capacities and memo tables: hammer one
         # analyzer from several workers and require the serial answer.
@@ -210,6 +232,24 @@ class TestIncremental:
         incremental = base.with_view("Weak", grown).dominance_matrix()
         updated = {**small_catalog, "Weak": grown}
         assert incremental == CatalogAnalyzer(updated).dominance_matrix()
+
+    def test_decision_reuse_counts(self, small_catalog, q_schema):
+        analyzer = CatalogAnalyzer(small_catalog)
+        present, needed = analyzer.decision_reuse()
+        assert present == 0 and needed > 0
+        analyzer.dominance_matrix()
+        present, needed = analyzer.decision_reuse()
+        assert present == needed  # fully materialised
+        # A renamed copy whose name sorts after its original keeps the old
+        # representative: the derived analyzer inherits every decision.
+        copy = small_catalog["Split"].renamed({"W1": "X1", "W2": "X2"})
+        derived = analyzer.with_view("Zcopy", copy)
+        present, needed = derived.decision_reuse()
+        assert present == needed > 0
+        # Dropping a non-representative view keeps the matrix complete too.
+        shrunk = analyzer.without_view("Weak")
+        present, needed = shrunk.decision_reuse()
+        assert present == needed
 
     def test_without_view_matches_fresh(self, small_catalog):
         base = CatalogAnalyzer(small_catalog)

@@ -89,3 +89,36 @@ class TestObservability:
             0,
         )
         assert stats.eviction_pressure == 0.0
+
+
+class TestDerivedRatioGuards:
+    """Empty-table division edge cases of every derived ``CacheStats`` ratio."""
+
+    def test_empty_table_ratios_are_zero(self):
+        stats = CacheStats(
+            name="empty", hits=0, misses=0, evictions=0, size=0, maxsize=8
+        )
+        assert stats.requests == 0
+        assert stats.hit_rate == 0.0
+        assert stats.eviction_pressure == 0.0
+
+    def test_hits_without_misses(self):
+        stats = CacheStats(
+            name="warm", hits=5, misses=0, evictions=0, size=3, maxsize=8
+        )
+        assert stats.hit_rate == 1.0
+        # No miss means no insert, so pressure must stay 0.0 — not divide.
+        assert stats.eviction_pressure == 0.0
+
+    def test_misses_without_hits(self):
+        stats = CacheStats(
+            name="cold", hits=0, misses=4, evictions=2, size=2, maxsize=2
+        )
+        assert stats.hit_rate == 0.0
+        assert stats.eviction_pressure == pytest.approx(0.5)
+
+    def test_fresh_real_table_snapshots_cleanly(self, scratch_cache):
+        stats = scratch_cache.stats()
+        assert stats.requests == 0
+        assert stats.hit_rate == 0.0
+        assert stats.eviction_pressure == 0.0

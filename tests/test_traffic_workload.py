@@ -1,0 +1,120 @@
+"""The deterministic traffic simulator (:mod:`repro.workloads.traffic`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    SchemaSpec,
+    TrafficEvent,
+    random_schema,
+    traffic_mix,
+    view_catalog,
+)
+from repro.workloads.traffic import _READ_WEIGHTS
+
+
+@pytest.fixture
+def catalog_and_schema():
+    schema = random_schema(SchemaSpec(relations=3, arity=2, universe_size=4), seed=23)
+    catalog = view_catalog(
+        schema, classes=2, copies_per_class=2, members=2, atoms_per_query=2, seed=9
+    )
+    return schema, catalog
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        first = traffic_mix(schema, catalog, requests=50, edit_rate=0.2, seed=5)
+        second = traffic_mix(schema, catalog, requests=50, edit_rate=0.2, seed=5)
+        assert first == second
+
+    def test_different_seed_different_events(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        first = traffic_mix(schema, catalog, requests=50, edit_rate=0.2, seed=5)
+        second = traffic_mix(schema, catalog, requests=50, edit_rate=0.2, seed=6)
+        assert first != second
+
+
+class TestMixShape:
+    def test_reads_reference_only_base_names(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = traffic_mix(schema, catalog, requests=120, edit_rate=0.3, seed=1)
+        base = set(catalog)
+        for event in events:
+            if event.kind in ("add_view", "drop_view"):
+                continue
+            if event.subject is not None:
+                assert event.subject in base
+            if event.other is not None:
+                assert event.other in base
+
+    def test_drops_only_remove_previously_added_views(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = traffic_mix(schema, catalog, requests=200, edit_rate=0.5, seed=2)
+        alive = set()
+        for event in events:
+            if event.kind == "add_view":
+                assert event.view is not None
+                alive.add(event.subject)
+            elif event.kind == "drop_view":
+                assert event.subject in alive  # never a base name, never missing
+                alive.remove(event.subject)
+
+    def test_edit_rate_zero_yields_pure_reads(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = traffic_mix(schema, catalog, requests=60, edit_rate=0.0, seed=3)
+        read_kinds = {kind for kind, _weight in _READ_WEIGHTS}
+        assert all(event.kind in read_kinds for event in events)
+
+    def test_membership_events_carry_queries(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = traffic_mix(schema, catalog, requests=80, edit_rate=0.0, seed=4)
+        memberships = [e for e in events if e.kind == "membership"]
+        assert memberships
+        assert all(e.query is not None and e.subject for e in memberships)
+
+    def test_deadline_assignment(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = traffic_mix(
+            schema,
+            catalog,
+            requests=100,
+            edit_rate=0.0,
+            seed=5,
+            deadline_s=2.0,
+            tiny_deadline_fraction=0.3,
+            tiny_deadline_s=1e-6,
+        )
+        deadlines = {event.deadline_s for event in events}
+        assert deadlines <= {2.0, 1e-6}
+        assert 1e-6 in deadlines  # the tiny slice is seeded in
+        assert 2.0 in deadlines
+
+    def test_priorities_are_five_or_ten(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = traffic_mix(
+            schema, catalog, requests=100, edit_rate=0.0, seed=6, urgent_fraction=0.5
+        )
+        assert {event.priority for event in events} == {5, 10}
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        with pytest.raises(WorkloadError):
+            traffic_mix(schema, catalog, requests=0)
+        with pytest.raises(WorkloadError):
+            traffic_mix(schema, {}, requests=5)
+        with pytest.raises(WorkloadError):
+            traffic_mix(schema, catalog, requests=5, edit_rate=1.5)
+        with pytest.raises(WorkloadError):
+            traffic_mix(schema, catalog, requests=5, tiny_deadline_fraction=-0.1)
+
+    def test_event_defaults(self):
+        event = TrafficEvent(kind="nonredundant_core")
+        assert event.priority == 10
+        assert event.deadline_s is None
+        assert event.query is None and event.view is None
