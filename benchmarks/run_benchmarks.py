@@ -8,7 +8,10 @@ suites, and the PR-3 ``service`` suite (simulated request/edit traffic
 against the long-lived :class:`repro.service.CatalogService`: throughput,
 latency percentiles, deadline-miss rate, incremental decision-reuse ratio,
 every exact answer verified bit-identical against a fresh serial analyzer
-per catalog version) — against both engines:
+per catalog version; PR 4 adds the overload lanes comparing the ``fifo``
+and ``edf`` admission schedulers on one seeded mixed-deadline burst mix,
+recording the miss-rate split and shed rate of each) — against both
+engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -53,7 +56,7 @@ from repro.baselines.seed_engine import (  # noqa: E402
 )
 from repro.engine import CatalogAnalyzer, process_chunksize  # noqa: E402
 from repro.perf import cache_stats, clear_caches  # noqa: E402
-from repro.service import run_traffic  # noqa: E402
+from repro.service import OVERLOAD_POLICY, run_traffic  # noqa: E402
 from repro.relalg import parse_expression  # noqa: E402
 from repro.relational import DatabaseSchema, RelationName  # noqa: E402
 from repro.views import (  # noqa: E402
@@ -68,6 +71,7 @@ from repro.workloads import (  # noqa: E402
     SchemaSpec,
     cold_membership_instance,
     equivalent_view_pair,
+    overload_mix,
     perturbed_view,
     random_schema,
     random_view,
@@ -421,6 +425,17 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
     the version it was served at, and must match bit for bit —
     ``all_identical`` gates the harness exit status like the engine
     agreement checks do.
+
+    The PR-4 **overload lanes** then replay one seeded mixed-deadline burst
+    mix (:func:`repro.workloads.overload_mix`) twice from cold caches —
+    once under the static-priority ``fifo`` scheduler, once under
+    ``edf`` with expired-work shedding — and record the deadline-miss rate
+    (split into missed-while-queued vs missed-while-computing), the shed
+    rate and queue-wait percentiles of each.  The question set, catalog,
+    policy and budgets are identical between the two, so the miss-rate gap
+    (``edf_miss_below_fifo``) is attributable to the scheduling order
+    alone; sheds are verified to be verdict-free refusals by the same
+    replay harness.
     """
 
     schema = random_schema(SchemaSpec(relations=4, arity=2, universe_size=5), seed=29)
@@ -439,38 +454,73 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         tiny_deadline_fraction=0.1,
     )
 
+    def lane_entry(name, lane, extra=None):
+        verdict, elapsed = lane["verdict"], lane["elapsed_s"]
+        m = lane["metrics"].to_dict()
+        entry = {
+            "name": name,
+            "events": len(lane["responses"]),
+            "jobs": jobs,
+            "cpus": os.cpu_count(),
+            "scheduler": m["scheduler"],
+            "elapsed_s": elapsed,
+            "throughput_rps": (m["served"] / elapsed) if elapsed > 0 else 0.0,
+            "latency_p50_s": m["latency_p50_s"],
+            "latency_p95_s": m["latency_p95_s"],
+            "queue_wait_p50_s": m["queue_wait_p50_s"],
+            "queue_wait_p95_s": m["queue_wait_p95_s"],
+            "deadline_miss_rate": m["deadline_miss_rate"],
+            "missed_in_queue": m["missed_in_queue"],
+            "missed_computing": m["missed_computing"],
+            "shed": m["shed"],
+            "shed_rate": m["shed_rate"],
+            "reuse": m["reuse"],
+            "served": m["served"],
+            "refused": m["refused"],
+            "coalesced": m["coalesced"],
+            "edits": m["edits"],
+            "verified": verdict["checked"],
+            "shed_verified": verdict["shed"],
+            "mismatches": len(verdict["mismatches"]),
+        }
+        if extra:
+            entry.update(extra)
+        return entry
+
     lanes = []
     all_identical = True
     clear_caches()
     for lane_name in ("cold", "warm"):
         lane = run_traffic(catalog, events, jobs=jobs)
-        verdict, elapsed = lane["verdict"], lane["elapsed_s"]
-        all_identical = all_identical and not verdict["mismatches"]
-        m = lane["metrics"].to_dict()
-        lanes.append(
-            {
-                "name": f"service_traffic_{lane_name}",
-                "events": len(events),
-                "jobs": jobs,
-                "cpus": os.cpu_count(),
-                "elapsed_s": elapsed,
-                "throughput_rps": (m["served"] / elapsed) if elapsed > 0 else 0.0,
-                "latency_p50_s": m["latency_p50_s"],
-                "latency_p95_s": m["latency_p95_s"],
-                "deadline_miss_rate": m["deadline_miss_rate"],
-                "reuse": m["reuse"],
-                "served": m["served"],
-                "refused": m["refused"],
-                "coalesced": m["coalesced"],
-                "edits": m["edits"],
-                "verified": verdict["checked"],
-                "mismatches": len(verdict["mismatches"]),
-            }
+        all_identical = all_identical and not lane["verdict"]["mismatches"]
+        lanes.append(lane_entry(f"service_traffic_{lane_name}", lane))
+
+    # Overload lanes: the same seeded burst mix, cold, under each scheduler,
+    # with the one shared OVERLOAD_POLICY the CLI --overload lane also uses.
+    # Not reduced for --smoke: the lanes take ~0.1 s each and a smaller
+    # event count would shrink the backlog that makes the contrast visible.
+    overload_events = overload_mix(schema, catalog, requests=600, seed=43)
+    overload_rates = {}
+    for scheduler in ("fifo", "edf"):
+        clear_caches()
+        lane = run_traffic(
+            catalog,
+            overload_events,
+            jobs=jobs,
+            scheduler=scheduler,
+            policy=OVERLOAD_POLICY,
         )
+        all_identical = all_identical and not lane["verdict"]["mismatches"]
+        entry = lane_entry(f"service_overload_{scheduler}", lane, {"overload": True})
+        overload_rates[scheduler] = entry["deadline_miss_rate"]
+        lanes.append(entry)
+
     return {
         "lanes": lanes,
         "cache": _tracked_cache_stats(),
         "all_identical": all_identical,
+        "overload_miss_rates": overload_rates,
+        "edf_miss_below_fifo": overload_rates["edf"] < overload_rates["fifo"],
     }
 
 
@@ -509,9 +559,18 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 f"[bench]   {lane['name']}: {lane['throughput_rps']:.0f} req/s, "
                 f"p50 {lane['latency_p50_s'] * 1000:.2f}ms, "
                 f"p95 {lane['latency_p95_s'] * 1000:.2f}ms, "
-                f"miss-rate {lane['deadline_miss_rate']:.3f}, "
+                f"miss-rate {lane['deadline_miss_rate']:.3f} "
+                f"({lane['missed_in_queue']}q/{lane['missed_computing']}c), "
+                f"shed {lane['shed']}, "
                 f"reuse {lane['reuse']['rate']:.3f}, "
                 f"verified {lane['verified']} ({lane['mismatches']} mismatches)"
+            )
+        if "overload_miss_rates" in summary:
+            rates = summary["overload_miss_rates"]
+            print(
+                f"[bench]   overload: fifo miss-rate {rates['fifo']:.3f} vs "
+                f"edf {rates['edf']:.3f} "
+                f"(edf below: {summary['edf_miss_below_fifo']})"
             )
     summary_block = {}
     for name in suites:
@@ -533,11 +592,15 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                     "latency_p50_s": round(lane["latency_p50_s"], 6),
                     "latency_p95_s": round(lane["latency_p95_s"], 6),
                     "deadline_miss_rate": round(lane["deadline_miss_rate"], 4),
+                    "shed_rate": round(lane["shed_rate"], 4),
                     "reuse_rate": round(lane["reuse"]["rate"], 4),
                 }
                 for lane in suites[name]["lanes"]
             }
             entry["all_identical"] = suites[name]["all_identical"]
+            if "overload_miss_rates" in suites[name]:
+                entry["overload_miss_rates"] = suites[name]["overload_miss_rates"]
+                entry["edf_miss_below_fifo"] = suites[name]["edf_miss_below_fifo"]
         summary_block[name] = entry
     report = {
         "schema_version": 3,

@@ -10,6 +10,8 @@ exposes the paper's decision procedures to shell users::
     python -m repro.cli catalog-analyze catalogue.txt --jobs 4 # batched matrix
     python -m repro.cli traffic --requests 200 --edit-rate 0.1 \
         --deadline-ms 500 --jobs 4                             # simulated serving
+    python -m repro.cli traffic --overload --scheduler edf --jobs 2
+                                        # mixed-deadline bursts, EDF vs FIFO
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no"),
@@ -133,6 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of reads given an unmeetable deadline (deadline-path exercise)",
     )
     traffic.add_argument(
+        "--scheduler",
+        choices=("edf", "fifo"),
+        default="edf",
+        help="admission order: earliest-deadline-first with expired-work "
+        "shedding (edf, default) or static priority/submission order (fifo)",
+    )
+    traffic.add_argument(
+        "--overload",
+        action="store_true",
+        help="replay mixed-deadline bursts (repro.workloads.overload_mix) that "
+        "saturate the service and make the scheduler choice measurable; "
+        "ignores --edit-rate/--deadline-ms/--tiny-deadline-fraction",
+    )
+    traffic.add_argument(
         "--json", action="store_true", help="emit the traffic summary as JSON"
     )
 
@@ -213,8 +229,14 @@ def _cmd_catalog_analyze(
 
 
 def _cmd_traffic(args, out) -> int:
-    from repro.service import run_traffic
-    from repro.workloads import SchemaSpec, random_schema, traffic_mix, view_catalog
+    from repro.service import OVERLOAD_POLICY, DeadlinePolicy, run_traffic
+    from repro.workloads import (
+        SchemaSpec,
+        overload_mix,
+        random_schema,
+        traffic_mix,
+        view_catalog,
+    )
 
     schema = random_schema(
         SchemaSpec(relations=4, arity=2, universe_size=5), seed=args.seed
@@ -227,25 +249,40 @@ def _cmd_traffic(args, out) -> int:
         atoms_per_query=2,
         seed=args.seed,
     )
-    deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1000.0
-    events = traffic_mix(
-        schema,
-        catalog,
-        requests=args.requests,
-        edit_rate=args.edit_rate,
-        seed=args.seed,
-        deadline_s=deadline_s,
-        tiny_deadline_fraction=args.tiny_deadline_fraction,
-    )
+    if args.overload:
+        events = overload_mix(
+            schema, catalog, requests=args.requests, seed=args.seed
+        )
+        policy = OVERLOAD_POLICY
+    else:
+        deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+        events = traffic_mix(
+            schema,
+            catalog,
+            requests=args.requests,
+            edit_rate=args.edit_rate,
+            seed=args.seed,
+            deadline_s=deadline_s,
+            tiny_deadline_fraction=args.tiny_deadline_fraction,
+        )
+        policy = DeadlinePolicy()
     lane = run_traffic(
-        catalog, events, jobs=args.jobs, queue_limit=args.queue_limit
+        catalog,
+        events,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        scheduler=args.scheduler,
+        policy=policy,
     )
     metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
     summary = {
         "events": len(events),
+        "scheduler": args.scheduler,
+        "overload": bool(args.overload),
         "elapsed_s": round(elapsed, 4),
         "throughput_rps": round(metrics.served / elapsed, 2) if elapsed > 0 else 0.0,
         "verified": verdict["checked"],
+        "shed_verified_as_refusals": verdict["shed"],
         "mismatches": len(verdict["mismatches"]),
         "metrics": metrics.to_dict(),
     }
@@ -255,18 +292,27 @@ def _cmd_traffic(args, out) -> int:
         m = summary["metrics"]
         print(
             f"traffic: {summary['events']} events over {len(catalog)} views "
-            f"in {summary['elapsed_s']}s ({summary['throughput_rps']} req/s)",
+            f"in {summary['elapsed_s']}s ({summary['throughput_rps']} req/s, "
+            f"scheduler {args.scheduler}"
+            f"{', overload bursts' if args.overload else ''})",
             file=out,
         )
         print(
             f"  served {m['served']} (coalesced {m['coalesced']}), "
-            f"refused {m['refused']}, edits {m['edits']}",
+            f"refused {m['refused']} (shed {m['shed']}), edits {m['edits']}",
             file=out,
         )
         print(
             f"  latency p50 {m['latency_p50_s'] * 1000:.2f}ms, "
             f"p95 {m['latency_p95_s'] * 1000:.2f}ms; "
-            f"deadline-miss rate {m['deadline_miss_rate']:.3f}",
+            f"queue wait p50 {m['queue_wait_p50_s'] * 1000:.2f}ms, "
+            f"p95 {m['queue_wait_p95_s'] * 1000:.2f}ms",
+            file=out,
+        )
+        print(
+            f"  deadline-miss rate {m['deadline_miss_rate']:.3f} "
+            f"({m['missed_in_queue']} in queue / {m['missed_computing']} "
+            f"computing), shed rate {m['shed_rate']:.3f}",
             file=out,
         )
         print(

@@ -302,11 +302,31 @@ class CatalogAnalyzer:
         )
 
     def _representatives(self) -> Dict[str, str]:
-        """Map every catalog name to its signature class representative."""
+        """Map every catalog name to its signature class representative.
 
+        The head prefers a member that already appears in the decision
+        store — sticky representatives.  Always taking the lexicographic
+        head would let an edit that adds a lexicographically-smaller copy
+        of an existing view (``Acopy`` joining ``Split``'s class) steal the
+        class headship and force every pair involving the class to be
+        re-decided, even though the inherited decisions answer them
+        verbatim.  Any member is a sound head (equal signatures mean equal
+        capacities), so stickiness only changes *which* equivalent work is
+        reused, never a verdict; ties among decided members break
+        lexicographically, keeping the choice deterministic for a given
+        decision-store state.
+        """
+
+        # tuple() snapshots the keys before iterating: a service thread may
+        # bulk-insert into the live dict concurrently (same hazard _derive
+        # guards against).
+        decided: set = set()
+        for a, b in tuple(self._decisions):
+            decided.add(a)
+            decided.add(b)
         representative: Dict[str, str] = {}
         for members in self.signature_classes():
-            head = members[0]
+            head = next((name for name in members if name in decided), members[0])
             for name in members:
                 representative[name] = head
         return representative

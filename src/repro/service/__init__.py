@@ -11,6 +11,9 @@ that the ROADMAP's "heavy traffic" north star calls for:
   answers are explicit about exactness (``ok`` / ``partial`` / ``refused``).
 * :class:`DeadlinePolicy` — how deadlines map onto
   :class:`~repro.views.closure.SearchLimits` budgets.
+* :class:`~repro.service.scheduler.AdmissionScheduler` and its two
+  policies — ``"edf"`` (earliest effective deadline first, expired work
+  shed before dispatch) and ``"fifo"`` (the static-priority baseline).
 * :class:`ServiceMetrics` — the observability snapshot (latency percentiles,
   deadline-miss rate, decision-reuse rate, memo-table stats).
 * :func:`replay` / :func:`verify_replay` — drive simulated traffic
@@ -18,7 +21,7 @@ that the ROADMAP's "heavy traffic" north star calls for:
   answer bit-identical against a fresh serial analyzer per catalog version.
 """
 
-from repro.service.deadline import DeadlinePolicy
+from repro.service.deadline import OVERLOAD_POLICY, DeadlinePolicy
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.replay import replay, request_from_event, run_traffic, verify_replay
 from repro.service.requests import (
@@ -28,17 +31,30 @@ from repro.service.requests import (
     ServiceRequest,
     ServiceResponse,
 )
+from repro.service.scheduler import (
+    SCHEDULERS,
+    AdmissionScheduler,
+    EdfScheduler,
+    FifoScheduler,
+    make_scheduler,
+)
 from repro.service.service import CatalogService
 
 __all__ = [
+    "AdmissionScheduler",
     "CatalogService",
     "DeadlinePolicy",
     "EDIT_KINDS",
+    "EdfScheduler",
+    "FifoScheduler",
+    "OVERLOAD_POLICY",
     "READ_KINDS",
+    "SCHEDULERS",
     "ServiceError",
     "ServiceMetrics",
     "ServiceRequest",
     "ServiceResponse",
+    "make_scheduler",
     "percentile",
     "replay",
     "request_from_event",

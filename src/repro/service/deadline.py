@@ -30,7 +30,13 @@ from typing import Optional, Tuple as PyTuple
 
 from repro.views.closure import SearchLimits
 
-__all__ = ["DeadlinePolicy", "TIER_BASE", "TIER_REDUCED", "TIER_REFUSE"]
+__all__ = [
+    "DeadlinePolicy",
+    "OVERLOAD_POLICY",
+    "TIER_BASE",
+    "TIER_REDUCED",
+    "TIER_REFUSE",
+]
 
 TIER_BASE = "base"
 TIER_REDUCED = "reduced"
@@ -95,3 +101,14 @@ class DeadlinePolicy:
         if reduced == base:
             return TIER_BASE, base
         return TIER_REDUCED, reduced
+
+
+#: The policy of the overload lanes (CLI ``traffic --overload`` and the
+#: benchmark's ``service_overload_*`` lanes — one definition, so the numbers
+#: users reproduce match ``BENCH_perf.json``): tight-but-meetable deadlines
+#: (>= 10 ms remaining) still get the base budgets, making the scheduler
+#: choice — not the budget tiering — the only variable between lanes, and
+#: every served answer exact and replay-verifiable; the 5 ms floor refuses
+#: work the service cannot finish in time instead of computing an answer
+#: that lands after its deadline.
+OVERLOAD_POLICY = DeadlinePolicy(full_deadline_s=0.01, floor_s=0.005)

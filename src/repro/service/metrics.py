@@ -53,7 +53,13 @@ class ServiceMetrics:
     in-flight questions that shared an already-pending answer instead of
     enqueueing.  ``deadlined`` counts requests that carried any deadline;
     ``deadline_misses`` those among them that expired in the queue or
-    finished late.  ``reuse_reused``/``reuse_needed`` accumulate, over every
+    finished late — split into ``missed_in_queue`` (the deadline was already
+    gone before any computation started: shed by the scheduler or refused at
+    serve start) and ``missed_computing`` (an answer was computed but
+    finished late).  ``shed`` counts the subset of queue misses the
+    scheduler refused *before* dispatch (:mod:`repro.service.scheduler`);
+    ``scheduler`` names the admission policy that produced this snapshot.
+    ``reuse_reused``/``reuse_needed`` accumulate, over every
     edit applied, how many representative dominance decisions the derived
     analyzer inherited versus how many its matrix needed
     (:meth:`repro.engine.CatalogAnalyzer.decision_reuse`).
@@ -65,11 +71,17 @@ class ServiceMetrics:
     edits: int = 0
     deadlined: int = 0
     deadline_misses: int = 0
+    missed_in_queue: int = 0
+    missed_computing: int = 0
+    shed: int = 0
+    scheduler: str = "fifo"
     queue_depth: int = 0
     max_queue_depth: int = 0
     uptime_s: float = 0.0
     latency_p50_s: float = 0.0
     latency_p95_s: float = 0.0
+    queue_wait_p50_s: float = 0.0
+    queue_wait_p95_s: float = 0.0
     reuse_reused: int = 0
     reuse_needed: int = 0
     cache: Dict[str, CacheStats] = field(default_factory=dict)
@@ -80,6 +92,12 @@ class ServiceMetrics:
         """Fraction of deadlined requests that missed (0.0 when none carried one)."""
 
         return self.deadline_misses / self.deadlined if self.deadlined else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of deadlined requests shed pre-dispatch (0.0 when none)."""
+
+        return self.shed / self.deadlined if self.deadlined else 0.0
 
     @property
     def reuse_rate(self) -> float:
@@ -108,12 +126,19 @@ class ServiceMetrics:
             "deadlined": self.deadlined,
             "deadline_misses": self.deadline_misses,
             "deadline_miss_rate": round(self.deadline_miss_rate, 6),
+            "missed_in_queue": self.missed_in_queue,
+            "missed_computing": self.missed_computing,
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 6),
+            "scheduler": self.scheduler,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "uptime_s": self.uptime_s,
             "throughput_rps": round(self.throughput_rps, 3),
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
+            "queue_wait_p50_s": self.queue_wait_p50_s,
+            "queue_wait_p95_s": self.queue_wait_p95_s,
             "reuse": {
                 "reused": self.reuse_reused,
                 "needed": self.reuse_needed,

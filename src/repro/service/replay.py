@@ -71,12 +71,14 @@ def run_traffic(
     limits: SearchLimits = SearchLimits(),
     jobs: int = 1,
     queue_limit: Optional[int] = None,
+    scheduler: str = "edf",
     policy: DeadlinePolicy = DeadlinePolicy(),
 ) -> Dict[str, object]:
     """The one verified traffic lane the CLI and benchmark harness share.
 
-    Builds a history-tracking :class:`CatalogService` over ``catalog``,
-    replays ``events``, snapshots metrics and verifies every exact answer
+    Builds a history-tracking :class:`CatalogService` over ``catalog``
+    (admission order per ``scheduler``: ``"edf"`` or ``"fifo"``), replays
+    ``events``, snapshots metrics and verifies every exact answer
     against fresh serial analyzers built with the *same base limits* the
     service used.  Returns ``{"responses", "metrics", "history",
     "elapsed_s", "verdict"}``; must be called from outside a running event
@@ -89,6 +91,7 @@ def run_traffic(
             limits=limits,
             jobs=jobs,
             queue_limit=queue_limit if queue_limit is not None else len(events) + 8,
+            scheduler=scheduler,
             policy=policy,
             track_history=True,
         ) as service:
@@ -141,11 +144,15 @@ def verify_replay(
 ) -> Dict[str, object]:
     """Check every response against a fresh serial analyzer at its version.
 
-    Returns ``{"checked": n, "skipped": n, "mismatches": [...]}`` where
-    ``checked`` counts exact answers recomputed and compared, ``skipped``
-    the edit/partial/refused responses (edits have no oracle; non-exact
-    responses are only checked for carrying *no* verdict).  Fresh analyzers
-    are cached per version — several responses typically share one.
+    Returns ``{"checked": n, "skipped": n, "shed": n, "mismatches": [...]}``
+    where ``checked`` counts exact answers recomputed and compared,
+    ``skipped`` the edit/partial/refused responses (edits have no oracle;
+    non-exact responses are only checked for carrying *no* verdict) and
+    ``shed`` the scheduler's pre-dispatch refusals among them.  A shed
+    response must be a verdict-free refusal — a shed that carries any
+    answer, or claims any status other than ``"refused"``, is a mismatch.
+    Fresh analyzers are cached per version — several responses typically
+    share one.
 
     ``clear_memo_tables`` (default on) empties the process-global memo
     tables first, so the oracle *recomputes* every answer instead of
@@ -161,9 +168,23 @@ def verify_replay(
     analyzers: Dict[int, CatalogAnalyzer] = {}
     checked = 0
     skipped = 0
+    shed = 0
     mismatches: List[Dict[str, object]] = []
     for index, (event, response) in enumerate(zip(events, responses)):
         request = request_from_event(event)
+        if response.shed:
+            shed += 1
+            if response.status != "refused":
+                mismatches.append(
+                    {
+                        "index": index,
+                        "kind": response.kind,
+                        "error": (
+                            "shed response must be a refusal, got "
+                            f"status {response.status!r}"
+                        ),
+                    }
+                )
         if request.is_edit:
             skipped += 1
             continue
@@ -202,4 +223,9 @@ def verify_replay(
                     "got": response.answer,
                 }
             )
-    return {"checked": checked, "skipped": skipped, "mismatches": mismatches}
+    return {
+        "checked": checked,
+        "skipped": skipped,
+        "shed": shed,
+        "mismatches": mismatches,
+    }

@@ -16,6 +16,10 @@ the bookkeeping the service contract promises:
   :class:`repro.engine.CatalogAnalyzer` on that exact catalog state.
 * ``deadline_missed`` records the wall-clock verdict separately from the
   budget mapping: an answer can be exact and still late.
+* ``shed`` marks refusals the scheduler issued *before* dispatch — the
+  request's effective deadline (see :meth:`ServiceRequest.effective_deadline`)
+  had already passed while it sat in the admission queue, so no budget was
+  spent computing an answer nobody could use.
 """
 
 from __future__ import annotations
@@ -108,6 +112,19 @@ class ServiceRequest:
 
         return self.kind in EDIT_KINDS
 
+    def effective_deadline(self, enqueued: float) -> Optional[float]:
+        """The absolute clock instant this request's budget expires.
+
+        ``enqueued`` is the (monotonic) admission time; the effective
+        deadline is fixed there, so it can key an earliest-deadline-first
+        heap without ever changing while the request waits.  ``None`` for
+        unbounded requests — they sort after every deadlined one.
+        """
+
+        if self.deadline_s is None:
+            return None
+        return enqueued + self.deadline_s
+
     def coalesce_key(self, version: int) -> Optional[Hashable]:
         """The in-flight dedup key, or ``None`` for edits (never coalesced).
 
@@ -154,6 +171,7 @@ class ServiceResponse:
     waited_s: float = 0.0
     latency_s: float = 0.0
     deadline_missed: bool = False
+    shed: bool = False  # refused pre-dispatch: deadline expired in the queue
 
     @property
     def ok(self) -> bool:
@@ -177,4 +195,5 @@ class ServiceResponse:
             "waited_s": self.waited_s,
             "latency_s": self.latency_s,
             "deadline_missed": self.deadline_missed,
+            "shed": self.shed,
         }

@@ -1,0 +1,209 @@
+"""Admission scheduling: which queued request the dispatcher pops next.
+
+PR 3's service drained its admission queue in static ``(priority,
+submission order)`` — fine while every deadline is loose, but under load it
+burns budget on requests that are already dead while meetable tight
+deadlines expire further back in the queue.  This module makes the order a
+pluggable policy:
+
+* :class:`FifoScheduler` — the PR-3 behaviour, kept as the comparison
+  baseline: strict ``(priority, submission order)``, no shedding.  An
+  expired request is still popped, dispatched, and only then refused.
+* :class:`EdfScheduler` — earliest-deadline-first: runnable work is ordered
+  by *effective deadline* (the absolute monotonic instant the request's
+  budget runs out, fixed at admission), with priority and submission order
+  as tiebreaks.  Requests with no deadline sort after every deadlined one.
+  On top of the ordering, the scheduler **sheds**: a popped entry whose
+  effective deadline has already passed is reported as expired so the
+  dispatcher can refuse it explicitly *before* dispatch — no budget is ever
+  spent computing an answer nobody is waiting for.  Because EDF pops
+  earliest deadlines first, pop-time expiry checking is equivalent to
+  scanning the whole queue: anything expired is at the front.
+
+Shedding is a refusal like any other — the work item's future resolves with
+``status="refused"`` (and ``shed=True``), so coalesced followers riding the
+same future are refused too, never left hanging.  The scheduler itself only
+*identifies* expired entries (:meth:`AdmissionScheduler.sheds`); resolving
+futures stays the service's job.
+
+Both schedulers are thin key policies over one bounded
+:class:`asyncio.PriorityQueue`, so the dispatcher's await/backpressure
+mechanics are shared and the FIFO lane really is the PR-3 queue bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Optional, Tuple as PyTuple
+
+__all__ = [
+    "AdmissionScheduler",
+    "EdfScheduler",
+    "FifoScheduler",
+    "SCHEDULERS",
+    "ScheduledEntry",
+    "make_scheduler",
+]
+
+
+class ScheduledEntry:
+    """One admitted work item plus the facts the ordering policies key on.
+
+    ``deadline_abs`` is the *effective deadline*: the absolute monotonic
+    clock value at which the request's end-to-end budget expires
+    (``enqueued + deadline_s``; ``None`` for unbounded requests).  It is
+    fixed at admission, so the ordering key never changes while the entry
+    waits — a heap invariant requirement.  ``sheddable`` marks entries the
+    EDF policy may refuse once that instant passes; catalog edits set a
+    deadline for *ordering* (so the edit stream interleaves with deadlined
+    traffic instead of starving behind it) but are never shed — a mutation
+    must be applied, not dropped.  ``item`` is opaque to the scheduler (the
+    service's work item; ``None`` marks the shutdown sentinel).
+    """
+
+    __slots__ = ("priority", "seq", "deadline_abs", "sheddable", "item")
+
+    def __init__(
+        self,
+        priority: int,
+        seq: int,
+        item: object,
+        deadline_abs: Optional[float] = None,
+        sheddable: bool = True,
+    ) -> None:
+        self.priority = priority
+        self.seq = seq
+        self.deadline_abs = deadline_abs
+        self.sheddable = sheddable
+        self.item = item
+
+
+class AdmissionScheduler:
+    """A bounded admission queue whose pop order is the subclass's policy.
+
+    The queue is created lazily by :meth:`start` (asyncio queues bind to the
+    running loop), bounded by ``maxsize``; :meth:`put_nowait` raises
+    :class:`asyncio.QueueFull` on overflow — the service turns that into an
+    explicit backpressure refusal.  The shutdown sentinel bypasses the bound
+    (:meth:`put_sentinel`) and sorts after every admissible entry in both
+    policies, so the queue always drains before the dispatcher exits.
+    """
+
+    #: Human-readable policy name, recorded in metrics and bench lanes.
+    name = "base"
+
+    #: Sentinel priority — above every admissible request priority
+    #: (``MAX_PRIORITY`` bounds those), so the sentinel sorts last.
+    SENTINEL_PRIORITY = 1 << 62
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"scheduler maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._queue: Optional[asyncio.PriorityQueue] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "AdmissionScheduler":
+        """Create the underlying queue (call from inside the event loop)."""
+
+        # Unbounded at the asyncio level: the service enforces ``maxsize``
+        # against *admissible* entries in put_nowait so the close() sentinel
+        # can always enter a full queue without blocking the shutdown path.
+        self._queue = asyncio.PriorityQueue()
+        return self
+
+    # ------------------------------------------------------------ operations
+    def sort_key(self, entry: ScheduledEntry) -> PyTuple:
+        """The heap key; subclasses define the policy."""
+
+        raise NotImplementedError
+
+    def sheds(self, entry: ScheduledEntry, now: float) -> bool:
+        """Whether a popped entry should be refused before dispatch."""
+
+        return False
+
+    def qsize(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def put_nowait(self, entry: ScheduledEntry) -> None:
+        """Admit one entry; raises :class:`asyncio.QueueFull` when full."""
+
+        if self._queue.qsize() >= self._maxsize:
+            raise asyncio.QueueFull
+        self._queue.put_nowait((self.sort_key(entry), entry))
+
+    def put_sentinel(self, seq: int) -> None:
+        """Enqueue the shutdown sentinel; exempt from the admission bound."""
+
+        entry = ScheduledEntry(self.SENTINEL_PRIORITY, seq, None)
+        self._queue.put_nowait((self.sort_key(entry), entry))
+
+    async def get(self) -> ScheduledEntry:
+        """Pop the next entry in policy order (awaits while empty)."""
+
+        _key, entry = await self._queue.get()
+        return entry
+
+
+class FifoScheduler(AdmissionScheduler):
+    """Static ``(priority, submission order)`` — the PR-3 baseline.
+
+    Never sheds: an expired request is dispatched and refused by the serve
+    path, after it has already consumed a dispatch slot.  Kept as the
+    benchmark comparison lane for :class:`EdfScheduler`.
+    """
+
+    name = "fifo"
+
+    def sort_key(self, entry: ScheduledEntry) -> PyTuple:
+        return (entry.priority, entry.seq)
+
+
+class EdfScheduler(AdmissionScheduler):
+    """Earliest effective deadline first, with expired-work shedding.
+
+    The key is ``(effective deadline, priority, submission order)``:
+    deadlined requests run in deadline order ahead of unbounded ones
+    (which keep the FIFO order among themselves); priority breaks exact
+    deadline ties.  A popped entry whose deadline has already passed is
+    shed — refused before dispatch instead of computing a doomed answer.
+    """
+
+    name = "edf"
+
+    def sort_key(self, entry: ScheduledEntry) -> PyTuple:
+        deadline = math.inf if entry.deadline_abs is None else entry.deadline_abs
+        return (deadline, entry.priority, entry.seq)
+
+    def sheds(self, entry: ScheduledEntry, now: float) -> bool:
+        # Strictly past the deadline — the same boundary the service's miss
+        # accounting uses (latency > deadline), so a shed always counts as
+        # a queue miss and shed_rate can never exceed deadline_miss_rate.
+        return (
+            entry.sheddable
+            and entry.item is not None
+            and entry.deadline_abs is not None
+            and now > entry.deadline_abs
+        )
+
+
+#: Scheduler name -> class, the vocabulary of ``CatalogService(scheduler=…)``
+#: and ``repro traffic --scheduler``.
+SCHEDULERS = {
+    FifoScheduler.name: FifoScheduler,
+    EdfScheduler.name: EdfScheduler,
+}
+
+
+def make_scheduler(name: str, maxsize: int) -> AdmissionScheduler:
+    """Instantiate the named scheduling policy over a bound of ``maxsize``."""
+
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of {tuple(SCHEDULERS)}"
+        ) from None
+    return cls(maxsize)

@@ -10,10 +10,16 @@ catalog edits through the engine's incremental
 
 Design:
 
-* **One dispatcher, bounded admission.**  Requests enter a bounded
-  :class:`asyncio.PriorityQueue`; a full queue refuses immediately
-  (backpressure) rather than buffering without limit.  A single dispatcher
-  coroutine pops items in ``(priority, submission order)`` order.
+* **One dispatcher, bounded admission, pluggable order.**  Requests enter a
+  bounded :class:`~repro.service.scheduler.AdmissionScheduler`; a full
+  queue refuses immediately (backpressure) rather than buffering without
+  limit.  A single dispatcher coroutine pops items in the scheduler's
+  order: ``"edf"`` (default) runs earliest-effective-deadline first with
+  priority as tiebreak and **sheds** requests whose deadline already
+  expired in the queue — refusing them explicitly before dispatch instead
+  of computing doomed answers; ``"fifo"`` is the static
+  ``(priority, submission order)`` baseline (see
+  :mod:`repro.service.scheduler`).
 * **Reads fan out, edits serialize.**  Read requests are handed to a
   thread-pool executor (``jobs`` workers) over the engine's lock-guarded
   memo tables and run concurrently; edit requests are applied *inline* by
@@ -25,12 +31,15 @@ Design:
 * **Coalescing.**  Duplicate in-flight questions (same kind, same
   arguments, same catalog version) share one pending answer instead of
   enqueueing again.
-* **Deadlines, explicitly.**  Each request's remaining time is mapped onto
-  :class:`~repro.views.closure.SearchLimits` budgets by a
+* **Deadlines, explicitly.**  Each request's *remaining* time — what is
+  left of the deadline after queue wait, recomputed at dispatch — is mapped
+  onto :class:`~repro.views.closure.SearchLimits` budgets by a
   :class:`~repro.service.deadline.DeadlinePolicy`; truncated searches
   return explicit ``partial`` answers and hopeless deadlines explicit
   refusals — the service never converts a truncated search into a negative
-  verdict (see :mod:`repro.service.deadline`).
+  verdict (see :mod:`repro.service.deadline`).  A request that burned most
+  of its deadline waiting gets the reduced/refuse tier, never the base
+  budget.
 * **Reuse accounting.**  Every edit records how many representative
   dominance decisions the derived analyzer inherited versus how many its
   matrix needed (:meth:`CatalogAnalyzer.decision_reuse`); the running ratio
@@ -59,15 +68,17 @@ from repro.service.requests import (
     ServiceRequest,
     ServiceResponse,
 )
+from repro.service.scheduler import (
+    SCHEDULERS,
+    AdmissionScheduler,
+    ScheduledEntry,
+    make_scheduler,
+)
 from repro.views.capacity import QueryCapacity
 from repro.views.closure import SearchLimits
 from repro.views.view import View
 
 __all__ = ["CatalogService"]
-
-#: Priority used for the internal shutdown sentinel — sorts after any real
-#: request priority, so the queue drains before the dispatcher exits.
-_SENTINEL_PRIORITY = 1 << 62
 
 #: Latency samples kept for the percentile snapshot.  A bounded recent
 #: window keeps a long-lived service's memory and metrics() cost constant;
@@ -102,6 +113,10 @@ class CatalogService:
         Thread-pool workers serving read requests concurrently.
     queue_limit:
         Admission-queue bound; submissions beyond it are refused.
+    scheduler:
+        Admission order: ``"edf"`` (default — earliest effective deadline
+        first, expired work shed before dispatch) or ``"fifo"`` (static
+        priority/submission order, the PR-3 baseline).
     policy:
         The deadline-to-budget mapping (:class:`DeadlinePolicy`).
     track_history:
@@ -121,6 +136,7 @@ class CatalogService:
         limits: SearchLimits = SearchLimits(),
         jobs: int = 1,
         queue_limit: int = 64,
+        scheduler: str = "edf",
         policy: DeadlinePolicy = DeadlinePolicy(),
         track_history: bool = False,
         clock: Callable[[], float] = time.monotonic,
@@ -129,10 +145,16 @@ class CatalogService:
             raise ServiceError(f"jobs must be >= 1, got {jobs}")
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        if scheduler not in SCHEDULERS:
+            raise ServiceError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                f"{tuple(SCHEDULERS)}"
+            )
         self._analyzer = CatalogAnalyzer(views, limits=limits)
         self._limits = limits
         self._jobs = int(jobs)
         self._queue_limit = int(queue_limit)
+        self._scheduler_name = scheduler
         self._policy = policy
         self._clock = clock
         self._version = 0
@@ -140,7 +162,7 @@ class CatalogService:
             {0: self._analyzer.views} if track_history else None
         )
         # Lifecycle state, created in start().
-        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._sched: Optional[AdmissionScheduler] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._serve_tasks: Set[asyncio.Task] = set()
@@ -154,23 +176,27 @@ class CatalogService:
         self._edits = 0
         self._deadlined = 0
         self._deadline_misses = 0
+        self._missed_in_queue = 0
+        self._missed_computing = 0
+        self._shed = 0
         self._max_queue_depth = 0
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._queue_waits: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._reuse_reused = 0
         self._reuse_needed = 0
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "CatalogService":
-        """Create the queue, executor and dispatcher inside the running loop."""
+        """Create the scheduler, executor and dispatcher inside the running loop."""
 
         if self._dispatcher is not None:
             raise ServiceError("the service is already running")
-        self._queue = asyncio.PriorityQueue(maxsize=self._queue_limit)
+        self._sched = make_scheduler(self._scheduler_name, self._queue_limit).start()
         self._executor = ThreadPoolExecutor(
             max_workers=self._jobs, thread_name_prefix="repro-service"
         )
         self._dispatcher = asyncio.get_running_loop().create_task(
-            self._dispatch(self._queue)
+            self._dispatch(self._sched)
         )
         self._started_at = self._clock()
         return self
@@ -185,8 +211,8 @@ class CatalogService:
 
         if self._dispatcher is None:
             return
-        queue, self._queue = self._queue, None
-        await queue.put((_SENTINEL_PRIORITY, next(self._seq), None))
+        sched, self._sched = self._sched, None
+        sched.put_sentinel(next(self._seq))
         await self._dispatcher
         if self._serve_tasks:
             await asyncio.gather(*tuple(self._serve_tasks))
@@ -214,6 +240,12 @@ class CatalogService:
         return self._limits
 
     @property
+    def scheduler(self) -> str:
+        """The admission-scheduling policy name (``"edf"`` or ``"fifo"``)."""
+
+        return self._scheduler_name
+
+    @property
     def analyzer(self) -> CatalogAnalyzer:
         """The current analyzer (swapped atomically by the edit stream)."""
 
@@ -237,7 +269,7 @@ class CatalogService:
         full admission queue refuses immediately.
         """
 
-        if self._queue is None:
+        if self._sched is None:
             raise ServiceError("the service is not running; use 'async with'")
         now = self._clock()
         key = request.coalesce_key(self._version)
@@ -246,8 +278,32 @@ class CatalogService:
             return await asyncio.shield(self._inflight[key])
         future = asyncio.get_running_loop().create_future()
         item = _WorkItem(request, future, now, key)
+        # Edits are never shed — a catalog mutation must be applied, not
+        # dropped because a deadline elapsed (a deadline on an edit only
+        # feeds the response's miss accounting).  For *ordering* they carry
+        # a fixed effective deadline of ``enqueued + full_deadline_s``:
+        # among themselves that is submission order (mutations serialize in
+        # the order clients sent them), and against reads it means an edit
+        # yields only to reads whose absolute deadline lands earlier — new
+        # arrivals have ever-later absolute deadlines, so a sustained
+        # deadlined read stream cannot starve the edit stream (an
+        # unbounded/None deadline would sort edits behind every deadlined
+        # read forever).
+        if request.is_edit:
+            deadline_abs: Optional[float] = now + self._policy.full_deadline_s
+            sheddable = False
+        else:
+            deadline_abs = request.effective_deadline(now)
+            sheddable = True
+        entry = ScheduledEntry(
+            request.priority,
+            next(self._seq),
+            item,
+            deadline_abs=deadline_abs,
+            sheddable=sheddable,
+        )
         try:
-            self._queue.put_nowait((request.priority, next(self._seq), item))
+            self._sched.put_nowait(entry)
         except asyncio.QueueFull:
             self._refused += 1
             return ServiceResponse(
@@ -259,7 +315,7 @@ class CatalogService:
         if key is not None:
             self._inflight[key] = future
             future.add_done_callback(lambda _f, k=key: self._inflight.pop(k, None))
-        self._max_queue_depth = max(self._max_queue_depth, self._queue.qsize())
+        self._max_queue_depth = max(self._max_queue_depth, self._sched.qsize())
         return await future
 
     # Convenience wrappers -------------------------------------------------
@@ -380,19 +436,25 @@ class CatalogService:
             edits=self._edits,
             deadlined=self._deadlined,
             deadline_misses=self._deadline_misses,
-            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            missed_in_queue=self._missed_in_queue,
+            missed_computing=self._missed_computing,
+            shed=self._shed,
+            scheduler=self._scheduler_name,
+            queue_depth=self._sched.qsize() if self._sched is not None else 0,
             max_queue_depth=self._max_queue_depth,
             uptime_s=uptime,
             latency_p50_s=percentile(self._latencies, 0.5),
             latency_p95_s=percentile(self._latencies, 0.95),
+            queue_wait_p50_s=percentile(self._queue_waits, 0.5),
+            queue_wait_p95_s=percentile(self._queue_waits, 0.95),
             reuse_reused=self._reuse_reused,
             reuse_needed=self._reuse_needed,
             cache=cache_stats(),
         )
 
     # ------------------------------------------------------------ dispatcher
-    async def _dispatch(self, queue: asyncio.PriorityQueue) -> None:
-        # The queue is bound at task creation: close() nulls self._queue
+    async def _dispatch(self, sched: AdmissionScheduler) -> None:
+        # The scheduler is bound at task creation: close() nulls self._sched
         # (possibly before this coroutine ever runs), but the dispatcher
         # must keep draining what was admitted.
         # Real backpressure needs the bound to cover dispatched-but-
@@ -403,9 +465,31 @@ class CatalogService:
         # overload piles up where submit() can see (and refuse) it.
         max_inflight = self._jobs * 2
         while True:
-            _priority, _seq, item = await queue.get()
+            entry = await sched.get()
+            item = entry.item
             if item is None:
                 return
+            now = self._clock()
+            if sched.sheds(entry, now):
+                # The effective deadline passed while the request queued:
+                # refuse before dispatch, spending nothing on a doomed
+                # answer.  _finish resolves the future, so any coalesced
+                # followers riding it are refused too.
+                self._shed += 1
+                waited = max(0.0, now - item.enqueued)
+                self._finish(
+                    item,
+                    status="refused",
+                    reason=(
+                        f"deadline of {item.request.deadline_s:.3f}s expired "
+                        f"after {waited:.3f}s in the admission queue; shed "
+                        "before dispatch"
+                    ),
+                    queue_wait=waited,
+                    computed=False,
+                    shed=True,
+                )
+                continue
             if item.request.is_edit:
                 # Edits serialize: applied inline, one at a time.  Reads
                 # dispatched earlier keep running on the analyzer they
@@ -435,6 +519,8 @@ class CatalogService:
         tier: str = TIER_BASE,
         version: Optional[int] = None,
         queue_wait: Optional[float] = None,
+        computed: bool = True,
+        shed: bool = False,
     ) -> None:
         now = self._clock()
         latency = max(0.0, now - item.enqueued)
@@ -445,6 +531,14 @@ class CatalogService:
             self._deadlined += 1
             if missed:
                 self._deadline_misses += 1
+                # The split the overload lanes record: a queue miss was
+                # decided before any work started (shed, or expired at
+                # serve start); a computing miss finished an answer late.
+                if computed:
+                    self._missed_computing += 1
+                else:
+                    self._missed_in_queue += 1
+        self._queue_waits.append(waited)
         if status == "refused":
             self._refused += 1
         else:
@@ -462,6 +556,7 @@ class CatalogService:
                 waited_s=waited,
                 latency_s=latency,
                 deadline_missed=missed,
+                shed=shed,
             ),
         )
 
@@ -470,6 +565,9 @@ class CatalogService:
         request = item.request
         loop = asyncio.get_running_loop()
         previous = self._analyzer
+        # Queue wait ends here, at dispatch — without this the edit's whole
+        # compute time would be recorded as "queue wait" in the percentiles.
+        waited = max(0.0, self._clock() - item.enqueued)
         try:
             if request.kind == "add_view":
                 derived = await loop.run_in_executor(
@@ -489,7 +587,10 @@ class CatalogService:
             # pending submitter, so *all* failures resolve the future; the
             # catalog is left exactly as it was (no version bump).
             self._finish(
-                item, status="refused", reason=f"{type(error).__name__}: {error}"
+                item,
+                status="refused",
+                reason=f"{type(error).__name__}: {error}",
+                queue_wait=waited,
             )
             return
         self._analyzer = derived
@@ -508,6 +609,7 @@ class CatalogService:
                 "decisions_needed": needed,
                 "views": len(derived.names),
             },
+            queue_wait=waited,
         )
 
     # ------------------------------------------------------------ read path
@@ -515,6 +617,9 @@ class CatalogService:
         request = item.request
         now = self._clock()
         waited = now - item.enqueued
+        # The budget tier is chosen from the *remaining* deadline here at
+        # dispatch — queue wait has already been charged against it — never
+        # from the full deadline the request was submitted with.
         remaining: Optional[float] = None
         if request.deadline_s is not None:
             remaining = request.deadline_s - waited
@@ -527,6 +632,7 @@ class CatalogService:
                         f"{waited:.3f}s in the queue"
                     ),
                     queue_wait=waited,
+                    computed=False,
                 )
                 return
         tier, limits = self._policy.limits_for(remaining, self._limits)
@@ -539,6 +645,7 @@ class CatalogService:
                     f"floor of {self._policy.floor_s:.4f}s"
                 ),
                 queue_wait=waited,
+                computed=False,
             )
             return
         # Snapshot the analyzer/version pair atomically (single-threaded

@@ -23,7 +23,7 @@ from repro.workloads.synthetic import (
     redundant_view,
     view_catalog,
 )
-from repro.workloads.traffic import TrafficEvent, traffic_mix
+from repro.workloads.traffic import TrafficEvent, overload_mix, traffic_mix
 
 __all__ = [
     "Example222",
@@ -46,5 +46,6 @@ __all__ = [
     "redundant_view",
     "view_catalog",
     "TrafficEvent",
+    "overload_mix",
     "traffic_mix",
 ]

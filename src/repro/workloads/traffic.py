@@ -27,6 +27,14 @@ Shape of the mix:
 
 Everything is driven by one :class:`random.Random` seed, so a traffic run
 is reproducible event for event.
+
+:func:`overload_mix` is the adversarial companion: mixed-deadline *bursts*
+that make the admission-scheduling policy measurable.  Each burst submits a
+run of loose-deadline reads followed by tight-deadline reads — exactly the
+shape where static FIFO order burns the tight requests' budgets behind
+loose work that could afford to wait, while earliest-deadline-first
+reorders them ahead and meets them.  All events share one priority, so the
+scheduler's deadline ordering is the only variable between lanes.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ from repro.relational.schema import DatabaseSchema
 from repro.views.view import View
 from repro.workloads.synthetic import random_expression, random_view
 
-__all__ = ["TrafficEvent", "traffic_mix"]
+__all__ = ["TrafficEvent", "overload_mix", "traffic_mix"]
 
 #: Relative weights of the read kinds in the generated mix.
 _READ_WEIGHTS = (
@@ -192,4 +200,102 @@ def traffic_mix(
                 deadline_s=effective_deadline,
             )
         )
+    return events
+
+
+def overload_mix(
+    schema: DatabaseSchema,
+    catalog: Dict[str, View],
+    requests: int = 240,
+    seed: int = 0,
+    burst: int = 8,
+    tight_fraction: float = 0.5,
+    tight_deadline_min_s: float = 0.03,
+    tight_deadline_max_s: float = 0.12,
+    loose_deadline_s: float = 10.0,
+    doomed_fraction: float = 0.05,
+    doomed_deadline_s: float = 0.001,
+) -> List[TrafficEvent]:
+    """Mixed-deadline bursts that make EDF vs FIFO scheduling measurable.
+
+    ``requests`` read events are generated in bursts of ``burst``: within
+    each burst, loose-deadline reads (``loose_deadline_s`` — generous, met
+    under either scheduler) come first, tight-deadline reads
+    (seeded uniform in ``[tight_deadline_min_s, tight_deadline_max_s]``)
+    after them, and a small *doomed* slice (``doomed_deadline_s`` — gone
+    before any scheduler could serve it) last.  Submitted back-to-back, the
+    tight requests queue behind the loose ones under FIFO and burn their
+    budgets waiting; an earliest-deadline-first scheduler pops them ahead
+    instead, and sheds the doomed slice before dispatch rather than
+    carrying it through the whole drain.  The mix is
+    read-only and every event shares the default priority, so the two
+    scheduler lanes replay an *identical* question set and their
+    deadline-miss/shed rates are directly comparable (and every exact
+    answer stays replay-verifiable against the unchanging catalog).
+    """
+
+    if requests < 1:
+        raise WorkloadError("an overload mix needs at least one request")
+    if not catalog:
+        raise WorkloadError("an overload mix needs a nonempty catalog")
+    if burst < 1:
+        raise WorkloadError(f"burst must be >= 1, got {burst}")
+    if not 0.0 <= tight_fraction <= 1.0:
+        raise WorkloadError(
+            f"tight_fraction must be in [0, 1], got {tight_fraction}"
+        )
+    if not 0.0 <= doomed_fraction <= 1.0 or tight_fraction + doomed_fraction > 1.0:
+        raise WorkloadError(
+            "doomed_fraction must be in [0, 1] and tight + doomed must not "
+            f"exceed 1, got {tight_fraction} + {doomed_fraction}"
+        )
+    if not 0 < tight_deadline_min_s <= tight_deadline_max_s:
+        raise WorkloadError(
+            "tight deadlines need 0 < min <= max, got "
+            f"[{tight_deadline_min_s}, {tight_deadline_max_s}]"
+        )
+    if not 0 < doomed_deadline_s < tight_deadline_min_s:
+        raise WorkloadError(
+            "doomed_deadline_s must lie strictly below the tight range"
+        )
+    if loose_deadline_s <= tight_deadline_max_s:
+        raise WorkloadError(
+            "loose_deadline_s must exceed the tight deadline range for the "
+            "burst contrast to mean anything"
+        )
+    rng = random.Random(seed)
+    base_names = sorted(catalog)
+    events: List[TrafficEvent] = []
+    while len(events) < requests:
+        size = min(burst, requests - len(events))
+        # A nonzero doomed fraction contributes at least one event per
+        # burst — round() alone would silently drop the slice for small
+        # bursts (round(8 * 0.05) == 0) and the shed path would go
+        # unexercised in every lane built on the defaults.  Doomed is
+        # sized first and tight yields to it, so a tight_fraction whose
+        # rounding fills the burst cannot squeeze the slice out either.
+        doomed_count = min(
+            max(1, round(size * doomed_fraction)) if doomed_fraction > 0 else 0,
+            size,
+        )
+        tight_count = min(round(size * tight_fraction), size - doomed_count)
+        deadlines = (
+            [loose_deadline_s] * (size - tight_count - doomed_count)
+            + [
+                rng.uniform(tight_deadline_min_s, tight_deadline_max_s)
+                for _ in range(tight_count)
+            ]
+            + [doomed_deadline_s] * doomed_count
+        )
+        for deadline in deadlines:
+            event = _pick_read(rng, base_names, catalog, schema)
+            events.append(
+                TrafficEvent(
+                    kind=event.kind,
+                    subject=event.subject,
+                    other=event.other,
+                    query=event.query,
+                    deadline_s=deadline,
+                )
+            )
     return events

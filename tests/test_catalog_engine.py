@@ -251,6 +251,33 @@ class TestIncremental:
         present, needed = shrunk.decision_reuse()
         assert present == needed
 
+    def test_representative_stickiness_on_smaller_named_copy(
+        self, small_catalog, q_schema
+    ):
+        # Regression: an edit adding a *lexicographically smaller* copy of
+        # an existing view used to steal its signature class's headship
+        # (members[0]) and force the whole matrix to re-decide pairs the
+        # derivation had inherited verbatim.  The head must stay sticky on
+        # an already-decided member, so decision_reuse() reports a complete
+        # matrix after exactly this edit pattern.
+        analyzer = CatalogAnalyzer(small_catalog)
+        analyzer.dominance_matrix()
+        acopy = small_catalog["Split"].renamed({"W1": "A1", "W2": "A2"})
+        derived = analyzer.with_view("Acopy", acopy)  # sorts before "Copy"
+        present, needed = derived.decision_reuse()
+        assert present == needed > 0  # nothing to re-decide
+        # Stickiness is a reuse optimisation only — verdicts are unchanged.
+        fresh = CatalogAnalyzer({**small_catalog, "Acopy": acopy})
+        assert derived.dominance_matrix() == fresh.dominance_matrix()
+        assert derived.nonredundant_core() == fresh.nonredundant_core()
+        # Same pattern through a replacement-free drop: removing the sticky
+        # head itself falls back to a fresh head without breaking verdicts.
+        dropped = derived.without_view("Copy")
+        fresh_dropped = CatalogAnalyzer(
+            {k: v for k, v in {**small_catalog, "Acopy": acopy}.items() if k != "Copy"}
+        )
+        assert dropped.dominance_matrix() == fresh_dropped.dominance_matrix()
+
     def test_without_view_matches_fresh(self, small_catalog):
         base = CatalogAnalyzer(small_catalog)
         base.dominance_matrix()

@@ -188,6 +188,45 @@ class TestTraffic:
         assert summary["metrics"]["deadline_miss_rate"] > 0
         assert summary["mismatches"] == 0
 
+    @pytest.mark.parametrize("scheduler", ["edf", "fifo"])
+    def test_traffic_overload_lane_verifies(self, scheduler):
+        status, output = run_cli(
+            [
+                "traffic",
+                "--overload",
+                "--scheduler",
+                scheduler,
+                "--requests",
+                "48",
+                "--jobs",
+                "2",
+                "--seed",
+                "2",
+                "--json",
+            ]
+        )
+        assert status == 0
+        summary = json.loads(output)
+        assert summary["overload"] is True
+        assert summary["scheduler"] == scheduler
+        assert summary["mismatches"] == 0
+        metrics = summary["metrics"]
+        assert metrics["scheduler"] == scheduler
+        # FIFO never sheds; EDF may (timing), but the counters must exist
+        # and agree with the replay verifier either way.
+        if scheduler == "fifo":
+            assert metrics["shed"] == 0
+        assert summary["shed_verified_as_refusals"] >= metrics["shed"]
+        assert "queue_wait_p95_s" in metrics
+        assert (
+            metrics["missed_in_queue"] + metrics["missed_computing"]
+            == metrics["deadline_misses"]
+        )
+
+    def test_traffic_rejects_unknown_scheduler(self):
+        status, _output = run_cli(["traffic", "--scheduler", "lifo"])
+        assert status == 2  # argparse usage error
+
 
 class TestSimplify:
     def test_simplify_emits_parseable_catalogue(self, catalogue_file):

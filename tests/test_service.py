@@ -584,23 +584,32 @@ class TestMetricsGuards:
     def test_fresh_snapshot_has_all_zero_ratios(self):
         metrics = ServiceMetrics()
         assert metrics.deadline_miss_rate == 0.0
+        assert metrics.shed_rate == 0.0
         assert metrics.reuse_rate == 0.0
         assert metrics.throughput_rps == 0.0
         assert metrics.latency_p50_s == 0.0
+        assert metrics.queue_wait_p50_s == 0.0
         rendered = metrics.to_dict()
         assert rendered["deadline_miss_rate"] == 0.0
+        assert rendered["shed_rate"] == 0.0
         assert rendered["reuse"]["rate"] == 0.0
+        assert rendered["missed_in_queue"] == 0
+        assert rendered["missed_computing"] == 0
+        assert rendered["scheduler"] == "fifo"
 
     def test_ratios_with_real_denominators(self):
         metrics = ServiceMetrics(
             served=8,
             deadlined=4,
             deadline_misses=1,
+            missed_in_queue=1,
+            shed=1,
             uptime_s=2.0,
             reuse_reused=3,
             reuse_needed=6,
         )
         assert metrics.deadline_miss_rate == pytest.approx(0.25)
+        assert metrics.shed_rate == pytest.approx(0.25)
         assert metrics.reuse_rate == pytest.approx(0.5)
         assert metrics.throughput_rps == pytest.approx(4.0)
 
@@ -622,6 +631,7 @@ class TestMetricsGuards:
         metrics = run(main())
         assert metrics.served == 1
         assert metrics.uptime_s > 0
+        assert metrics.scheduler == "edf"  # the service default
         assert "closure.find_construction" in metrics.cache
         rendered = metrics.to_dict()
         assert "hit_rate" in rendered["cache"]["closure.find_construction"]

@@ -8,6 +8,7 @@ from repro.exceptions import WorkloadError
 from repro.workloads import (
     SchemaSpec,
     TrafficEvent,
+    overload_mix,
     random_schema,
     traffic_mix,
     view_catalog,
@@ -99,6 +100,95 @@ class TestMixShape:
             schema, catalog, requests=100, edit_rate=0.0, seed=6, urgent_fraction=0.5
         )
         assert {event.priority for event in events} == {5, 10}
+
+
+class TestOverloadMix:
+    def test_deterministic(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        first = overload_mix(schema, catalog, requests=64, seed=4)
+        second = overload_mix(schema, catalog, requests=64, seed=4)
+        assert first == second
+        assert first != overload_mix(schema, catalog, requests=64, seed=5)
+
+    def test_burst_shape_loose_then_tight_then_doomed(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        burst = 10
+        events = overload_mix(
+            schema,
+            catalog,
+            requests=40,
+            seed=1,
+            burst=burst,
+            tight_fraction=0.4,
+            tight_deadline_min_s=0.03,
+            tight_deadline_max_s=0.12,
+            loose_deadline_s=10.0,
+            doomed_fraction=0.2,
+            doomed_deadline_s=0.001,
+        )
+        assert len(events) == 40
+        read_kinds = {kind for kind, _weight in _READ_WEIGHTS}
+        assert all(e.kind in read_kinds for e in events)  # reads only
+        assert {e.priority for e in events} == {10}  # one priority
+        for start in range(0, 40, burst):
+            chunk = events[start : start + burst]
+            deadlines = [e.deadline_s for e in chunk]
+            assert deadlines[:4] == [10.0] * 4  # loose first
+            assert all(0.03 <= d <= 0.12 for d in deadlines[4:8])  # tight next
+            assert deadlines[8:] == [0.001] * 2  # doomed last
+
+    def test_doomed_slice_survives_rounding(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        # Default fractions: round(8 * 0.05) == 0, but a nonzero
+        # doomed_fraction must still contribute one event per burst.
+        events = overload_mix(schema, catalog, requests=32, seed=3, burst=8)
+        doomed = [e for e in events if e.deadline_s == 0.001]
+        assert len(doomed) == 4  # one per burst
+        # A tight fraction whose rounding fills the burst yields to the
+        # doomed slice instead of squeezing it out.
+        greedy = overload_mix(
+            schema,
+            catalog,
+            requests=16,
+            seed=3,
+            burst=8,
+            tight_fraction=0.95,
+            doomed_fraction=0.05,
+        )
+        assert sum(1 for e in greedy if e.deadline_s == 0.001) == 2
+
+    def test_every_event_carries_a_deadline(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        events = overload_mix(schema, catalog, requests=33, seed=2, burst=8)
+        assert len(events) == 33  # the trailing partial burst is kept
+        assert all(e.deadline_s is not None for e in events)
+
+    def test_rejects_bad_parameters(self, catalog_and_schema):
+        schema, catalog = catalog_and_schema
+        with pytest.raises(WorkloadError):
+            overload_mix(schema, catalog, requests=0)
+        with pytest.raises(WorkloadError):
+            overload_mix(schema, {}, requests=5)
+        with pytest.raises(WorkloadError):
+            overload_mix(schema, catalog, requests=5, burst=0)
+        with pytest.raises(WorkloadError):
+            overload_mix(schema, catalog, requests=5, tight_fraction=1.2)
+        with pytest.raises(WorkloadError):
+            overload_mix(
+                schema, catalog, requests=5, tight_fraction=0.7, doomed_fraction=0.6
+            )
+        with pytest.raises(WorkloadError):
+            overload_mix(
+                schema,
+                catalog,
+                requests=5,
+                tight_deadline_min_s=0.2,
+                tight_deadline_max_s=0.1,
+            )
+        with pytest.raises(WorkloadError):
+            overload_mix(schema, catalog, requests=5, doomed_deadline_s=0.5)
+        with pytest.raises(WorkloadError):
+            overload_mix(schema, catalog, requests=5, loose_deadline_s=0.05)
 
 
 class TestValidation:
