@@ -10,8 +10,11 @@ latency percentiles, deadline-miss rate, incremental decision-reuse ratio,
 every exact answer verified bit-identical against a fresh serial analyzer
 per catalog version; PR 4 adds the overload lanes comparing the ``fifo``
 and ``edf`` admission schedulers on one seeded mixed-deadline burst mix,
-recording the miss-rate split and shed rate of each) — against both
-engines:
+recording the miss-rate split and shed rate of each; PR 5 adds the
+subscription lanes measuring delta-push latency and the server work saved
+by pushing per-edit deltas instead of answering per-client core polls,
+with every delta fold verified bit-identical against fresh serial
+analyzers) — against both engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -69,6 +72,7 @@ from repro.views import (  # noqa: E402
 from repro.views.redundancy import nonredundant_query_set  # noqa: E402
 from repro.workloads import (  # noqa: E402
     SchemaSpec,
+    TrafficEvent,
     cold_membership_instance,
     equivalent_view_pair,
     overload_mix,
@@ -76,6 +80,7 @@ from repro.workloads import (  # noqa: E402
     random_schema,
     random_view,
     redundant_view,
+    subscriber_mix,
     traffic_mix,
     view_catalog,
 )
@@ -436,6 +441,16 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
     (``edf_miss_below_fifo``) is attributable to the scheduling order
     alone; sheds are verified to be verdict-free refusals by the same
     replay harness.
+
+    The PR-5 **subscription lanes** replay one edit-heavy mix three ways
+    (base / push with delta subscribers / poll with per-client
+    ``nonredundant_core`` requests after every edit) and record the
+    delta-push latency percentiles, resync count, the fold verification
+    result (deltas folded over the version-0 snapshot must reconstruct a
+    fresh serial analyzer bit-identically at every version, with zero
+    silent drops) and ``work_saved_ratio`` — server compute spent answering
+    the injected polls divided by the total delta push cost for the same
+    edit stream.
     """
 
     schema = random_schema(SchemaSpec(relations=4, arity=2, universe_size=5), seed=29)
@@ -457,6 +472,17 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
     def lane_entry(name, lane, extra=None):
         verdict, elapsed = lane["verdict"], lane["elapsed_s"]
         m = lane["metrics"].to_dict()
+        # Per-edit decision reuse: each applied edit's incremental
+        # accounting, alongside the aggregate under "reuse".
+        per_edit_reuse = [
+            {
+                "version": r.answer["version"],
+                "reused": r.answer["decisions_reused"],
+                "needed": r.answer["decisions_needed"],
+            }
+            for r in lane["responses"]
+            if r.kind in ("add_view", "drop_view") and r.ok
+        ]
         entry = {
             "name": name,
             "events": len(lane["responses"]),
@@ -475,6 +501,7 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
             "shed": m["shed"],
             "shed_rate": m["shed_rate"],
             "reuse": m["reuse"],
+            "per_edit_reuse": per_edit_reuse,
             "served": m["served"],
             "refused": m["refused"],
             "coalesced": m["coalesced"],
@@ -515,12 +542,116 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         overload_rates[scheduler] = entry["deadline_miss_rate"]
         lanes.append(entry)
 
+    # Subscription lanes (PR 5): the same edit-heavy seeded mix replayed
+    # three ways from cold caches —
+    #   base: no subscribers and no polls (the shared cost floor),
+    #   push: S delta subscribers attached (the streaming layer pays one
+    #         diff + fan-out per edit; every delta fold is verified
+    #         bit-identical against fresh serial analyzers),
+    #   poll: no subscribers, but after every edit each of the S "clients"
+    #         submits a nonredundant_core request at a distinct priority
+    #         (distinct coalesce keys — S independent pollers, the
+    #         pre-subscription way of tracking the core).
+    # The work comparison is computed from per-request accounting, not
+    # lane wall-clocks: poll_compute_s sums the injected polls'
+    # (latency - queue wait), push_total_s is the service's accumulated
+    # diff+fan-out time; work_saved_ratio is their quotient.
+    sub_requests = 30 if smoke else 80
+    sub_subscribers = 6
+    sub_events = traffic_mix(
+        schema, catalog, requests=sub_requests, edit_rate=0.35, seed=47
+    )
+    specs = subscriber_mix(catalog, subscribers=sub_subscribers, seed=47)
+    poll_events = []
+    injected = []
+    for event in sub_events:
+        poll_events.append(event)
+        if event.kind in ("add_view", "drop_view"):
+            for client in range(sub_subscribers):
+                injected.append(len(poll_events))
+                poll_events.append(
+                    TrafficEvent(kind="nonredundant_core", priority=10 + client)
+                )
+
+    clear_caches()
+    base_lane = run_traffic(catalog, sub_events, jobs=jobs)
+    all_identical = all_identical and not base_lane["verdict"]["mismatches"]
+    lanes.append(lane_entry("service_subscription_base", base_lane))
+
+    clear_caches()
+    push_lane = run_traffic(catalog, sub_events, jobs=jobs, subscriber_specs=specs)
+    sub_verdict = push_lane["subscriptions"]["verdict"]
+    push_m = push_lane["metrics"].to_dict()["subscriptions"]
+    all_identical = (
+        all_identical
+        and not push_lane["verdict"]["mismatches"]
+        and not sub_verdict["mismatches"]
+        and not sub_verdict["silent_drops"]
+    )
+    lanes.append(
+        lane_entry(
+            "service_subscription_push",
+            push_lane,
+            {
+                "subscribers": sub_subscribers,
+                "deltas_published": push_m["deltas_published"],
+                "deltas_delivered": push_m["deltas_delivered"],
+                "deltas_filtered": push_m["deltas_filtered"],
+                "resyncs": push_m["resyncs"],
+                "push_p50_s": push_m["push_p50_s"],
+                "push_p95_s": push_m["push_p95_s"],
+                "push_total_s": push_m["push_total_s"],
+                "versions_fold_verified": sub_verdict["versions_checked"],
+                "fold_mismatches": len(sub_verdict["mismatches"]),
+                "silent_drops": sub_verdict["silent_drops"],
+            },
+        )
+    )
+
+    clear_caches()
+    poll_lane = run_traffic(catalog, poll_events, jobs=jobs)
+    all_identical = all_identical and not poll_lane["verdict"]["mismatches"]
+    poll_responses = poll_lane["responses"]
+    poll_compute_s = sum(
+        max(0.0, poll_responses[i].latency_s - poll_responses[i].waited_s)
+        for i in injected
+    )
+    push_total_s = push_m["push_total_s"]
+    work_saved_ratio = poll_compute_s / push_total_s if push_total_s > 0 else 0.0
+    lanes.append(
+        lane_entry(
+            "service_subscription_poll",
+            poll_lane,
+            {
+                "subscribers": sub_subscribers,
+                "injected_polls": len(injected),
+                "poll_compute_s": poll_compute_s,
+            },
+        )
+    )
+
+    subscription = {
+        "subscribers": sub_subscribers,
+        "deltas_published": push_m["deltas_published"],
+        "resyncs": push_m["resyncs"],
+        "push_p50_s": push_m["push_p50_s"],
+        "push_p95_s": push_m["push_p95_s"],
+        "push_total_s": push_total_s,
+        "poll_compute_s": poll_compute_s,
+        "injected_polls": len(injected),
+        "work_saved_ratio": work_saved_ratio,
+        "versions_fold_verified": sub_verdict["versions_checked"],
+        "fold_mismatches": len(sub_verdict["mismatches"]),
+        "silent_drops": sub_verdict["silent_drops"],
+    }
+
     return {
         "lanes": lanes,
         "cache": _tracked_cache_stats(),
         "all_identical": all_identical,
         "overload_miss_rates": overload_rates,
         "edf_miss_below_fifo": overload_rates["edf"] < overload_rates["fifo"],
+        "subscription": subscription,
     }
 
 
@@ -572,6 +703,20 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 f"edf {rates['edf']:.3f} "
                 f"(edf below: {summary['edf_miss_below_fifo']})"
             )
+        if "subscription" in summary:
+            sub = summary["subscription"]
+            print(
+                f"[bench]   subscription: {sub['deltas_published']} deltas to "
+                f"{sub['subscribers']} subscribers, push p50 "
+                f"{sub['push_p50_s'] * 1000:.2f}ms p95 "
+                f"{sub['push_p95_s'] * 1000:.2f}ms, {sub['resyncs']} resyncs; "
+                f"poll work {sub['poll_compute_s'] * 1000:.1f}ms vs push "
+                f"{sub['push_total_s'] * 1000:.1f}ms "
+                f"(saved {sub['work_saved_ratio']:.1f}x); folds verified at "
+                f"{sub['versions_fold_verified']} versions "
+                f"({sub['fold_mismatches']} mismatches, "
+                f"{sub['silent_drops']} drops)"
+            )
     summary_block = {}
     for name in suites:
         entry: Dict[str, object] = {}
@@ -601,9 +746,20 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
             if "overload_miss_rates" in suites[name]:
                 entry["overload_miss_rates"] = suites[name]["overload_miss_rates"]
                 entry["edf_miss_below_fifo"] = suites[name]["edf_miss_below_fifo"]
+            if "subscription" in suites[name]:
+                sub = suites[name]["subscription"]
+                entry["subscription"] = {
+                    "push_p50_s": round(sub["push_p50_s"], 6),
+                    "push_p95_s": round(sub["push_p95_s"], 6),
+                    "deltas_published": sub["deltas_published"],
+                    "resyncs": sub["resyncs"],
+                    "work_saved_ratio": round(sub["work_saved_ratio"], 3),
+                    "fold_mismatches": sub["fold_mismatches"],
+                    "silent_drops": sub["silent_drops"],
+                }
         summary_block[name] = entry
     report = {
-        "schema_version": 3,
+        "schema_version": 4,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpus": os.cpu_count(),

@@ -12,6 +12,8 @@ exposes the paper's decision procedures to shell users::
         --deadline-ms 500 --jobs 4                             # simulated serving
     python -m repro.cli traffic --overload --scheduler edf --jobs 2
                                         # mixed-deadline bursts, EDF vs FIFO
+    python -m repro.cli traffic --subscribers 4 --edit-rate 0.2 --jobs 2
+                                        # streaming: push deltas per edit
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no"),
@@ -149,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
         "ignores --edit-rate/--deadline-ms/--tiny-deadline-fraction",
     )
     traffic.add_argument(
+        "--subscribers",
+        type=int,
+        default=0,
+        help="attach N seeded delta subscribers (repro.workloads.subscriber_mix): "
+        "every catalog edit pushes a versioned delta; the run verifies that "
+        "folding the deltas over the version-0 snapshot reconstructs a fresh "
+        "serial analyzer bit-identically at every version and that no delta "
+        "was silently dropped",
+    )
+    traffic.add_argument(
         "--json", action="store_true", help="emit the traffic summary as JSON"
     )
 
@@ -230,10 +242,12 @@ def _cmd_catalog_analyze(
 
 def _cmd_traffic(args, out) -> int:
     from repro.service import OVERLOAD_POLICY, DeadlinePolicy, run_traffic
+    from repro.service.requests import EDIT_KINDS
     from repro.workloads import (
         SchemaSpec,
         overload_mix,
         random_schema,
+        subscriber_mix,
         traffic_mix,
         view_catalog,
     )
@@ -266,6 +280,11 @@ def _cmd_traffic(args, out) -> int:
             tiny_deadline_fraction=args.tiny_deadline_fraction,
         )
         policy = DeadlinePolicy()
+    specs = (
+        subscriber_mix(catalog, subscribers=args.subscribers, seed=args.seed)
+        if args.subscribers > 0
+        else None
+    )
     lane = run_traffic(
         catalog,
         events,
@@ -273,8 +292,20 @@ def _cmd_traffic(args, out) -> int:
         queue_limit=args.queue_limit,
         scheduler=args.scheduler,
         policy=policy,
+        subscriber_specs=specs,
     )
     metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
+    # Per-edit decision reuse: each applied edit's incremental accounting,
+    # not just the aggregate ratio (the satellite the JSON output carries).
+    per_edit_reuse = [
+        {
+            "version": response.answer["version"],
+            "reused": response.answer["decisions_reused"],
+            "needed": response.answer["decisions_needed"],
+        }
+        for response in lane["responses"]
+        if response.kind in EDIT_KINDS and response.ok
+    ]
     summary = {
         "events": len(events),
         "scheduler": args.scheduler,
@@ -284,8 +315,27 @@ def _cmd_traffic(args, out) -> int:
         "verified": verdict["checked"],
         "shed_verified_as_refusals": verdict["shed"],
         "mismatches": len(verdict["mismatches"]),
+        "per_edit_reuse": per_edit_reuse,
         "metrics": metrics.to_dict(),
     }
+    sub_verdict = None
+    if lane["subscriptions"] is not None:
+        sub_verdict = lane["subscriptions"]["verdict"]
+        m = metrics.to_dict()["subscriptions"]
+        summary["subscriptions"] = {
+            "subscribers": args.subscribers,
+            "deltas_published": m["deltas_published"],
+            "deltas_delivered": m["deltas_delivered"],
+            "deltas_filtered": m["deltas_filtered"],
+            "deltas_superseded": m["deltas_superseded"],
+            "resyncs": m["resyncs"],
+            "push_p50_s": m["push_p50_s"],
+            "push_p95_s": m["push_p95_s"],
+            "versions_fold_verified": sub_verdict["versions_checked"],
+            "events_fold_verified": sub_verdict["events_checked"],
+            "fold_mismatches": len(sub_verdict["mismatches"]),
+            "silent_drops": sub_verdict["silent_drops"],
+        }
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True), file=out)
     else:
@@ -320,12 +370,35 @@ def _cmd_traffic(args, out) -> int:
             f"{m['reuse']['needed']} ({m['reuse']['rate']:.3f})",
             file=out,
         )
+        if "subscriptions" in summary:
+            s = summary["subscriptions"]
+            print(
+                f"  subscriptions: {s['subscribers']} subscribers, "
+                f"{s['deltas_published']} deltas published "
+                f"({s['deltas_delivered']} delivered, {s['deltas_filtered']} "
+                f"filtered, {s['resyncs']} resyncs), push p50 "
+                f"{s['push_p50_s'] * 1000:.2f}ms p95 "
+                f"{s['push_p95_s'] * 1000:.2f}ms",
+                file=out,
+            )
+            print(
+                f"  delta folds verified at {s['versions_fold_verified']} "
+                f"versions ({s['events_fold_verified']} subscriber events); "
+                f"{s['fold_mismatches']} mismatches, "
+                f"{s['silent_drops']} silent drops",
+                file=out,
+            )
         print(
             f"  verified {summary['verified']} exact answers against fresh "
             f"analyzers; {summary['mismatches']} mismatches",
             file=out,
         )
-    return 0 if not verdict["mismatches"] else 1
+    failed = bool(verdict["mismatches"])
+    if sub_verdict is not None:
+        failed = failed or bool(sub_verdict["mismatches"]) or bool(
+            sub_verdict["silent_drops"]
+        )
+    return 1 if failed else 0
 
 
 def _cmd_simplify(catalog: Catalog, out) -> int:

@@ -11,6 +11,39 @@ the design notes and :mod:`repro.engine.parallel` for the backends.
 """
 
 from repro.engine.catalog import CatalogAnalyzer, CatalogReport, view_signature
+from repro.engine.delta import (
+    TOPIC_CORE,
+    TOPIC_DOMINANCE,
+    TOPIC_EQUIVALENCE_CLASSES,
+    VIEW_REPORT_PREFIX,
+    CatalogDelta,
+    CatalogSnapshot,
+    classes_from_matrix,
+    coalesce_deltas,
+    compute_delta,
+    core_from_matrix,
+    fold_classes,
+    fold_core,
+    fold_matrix,
+)
 from repro.engine.parallel import process_chunksize
 
-__all__ = ["CatalogAnalyzer", "CatalogReport", "process_chunksize", "view_signature"]
+__all__ = [
+    "CatalogAnalyzer",
+    "CatalogDelta",
+    "CatalogReport",
+    "CatalogSnapshot",
+    "TOPIC_CORE",
+    "TOPIC_DOMINANCE",
+    "TOPIC_EQUIVALENCE_CLASSES",
+    "VIEW_REPORT_PREFIX",
+    "classes_from_matrix",
+    "coalesce_deltas",
+    "compute_delta",
+    "core_from_matrix",
+    "fold_classes",
+    "fold_core",
+    "fold_matrix",
+    "process_chunksize",
+    "view_signature",
+]

@@ -57,6 +57,13 @@ from typing import (
 from repro.catalog.dsl import Catalog, serialize_catalog
 from repro.core.analyzer import ViewAnalyzer
 from repro.core.report import ViewAnalysisReport
+from repro.engine.delta import (
+    CatalogDelta,
+    CatalogSnapshot,
+    classes_from_matrix,
+    compute_delta,
+    core_from_matrix,
+)
 from repro.engine.parallel import (
     Pair,
     PairOutcome,
@@ -76,7 +83,13 @@ from repro.views.equivalence import (
 )
 from repro.views.view import View
 
-__all__ = ["CatalogAnalyzer", "CatalogReport", "view_signature"]
+__all__ = [
+    "CatalogAnalyzer",
+    "CatalogDelta",
+    "CatalogReport",
+    "CatalogSnapshot",
+    "view_signature",
+]
 
 _EXECUTORS = ("thread", "process")
 
@@ -435,26 +448,7 @@ class CatalogAnalyzer:
     def _equivalence_classes(
         self, matrix: Dict[Pair, bool]
     ) -> PyTuple[PyTuple[str, ...], ...]:
-        parent = {name: name for name in self._views}
-
-        def find(x: str) -> str:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        for (a, b), holds in matrix.items():
-            if holds and matrix[(b, a)]:
-                ra, rb = find(a), find(b)
-                if ra != rb:
-                    parent[max(ra, rb)] = min(ra, rb)
-        groups: Dict[str, List[str]] = {}
-        for name in self._views:
-            groups.setdefault(find(name), []).append(name)
-        return tuple(
-            tuple(sorted(members))
-            for members in sorted(groups.values(), key=lambda m: min(m))
-        )
+        return classes_from_matrix(self._views, matrix)
 
     def nonredundant_core(self) -> PyTuple[str, ...]:
         """A minimal dominating subset of the catalog (redundancy elimination).
@@ -469,19 +463,7 @@ class CatalogAnalyzer:
         return self._nonredundant_core(self.dominance_matrix())
 
     def _nonredundant_core(self, matrix: Dict[Pair, bool]) -> PyTuple[str, ...]:
-        core: List[str] = []
-        for name in self._views:
-            subsumed = False
-            for other in self._views:
-                if other == name:
-                    continue
-                if matrix[(other, name)]:
-                    if not matrix[(name, other)] or other < name:
-                        subsumed = True
-                        break
-            if not subsumed:
-                core.append(name)
-        return tuple(core)
+        return core_from_matrix(self._views, matrix)
 
     def view_reports(self) -> Dict[str, ViewAnalysisReport]:
         """Full per-view reports, each through the shared capacity/limits."""
@@ -505,6 +487,40 @@ class CatalogAnalyzer:
             broadcast_pairs=n * (n - 1) - len(heads) * (len(heads) - 1),
             view_reports=self.view_reports() if include_view_reports else None,
         )
+
+    # --------------------------------------------------------- changed sets
+    def snapshot(self, version: int = 0) -> CatalogSnapshot:
+        """The full derived state at ``version``: core, classes, matrix.
+
+        The base state a delta fold starts from and the payload a
+        subscription *resync* carries (:mod:`repro.engine.delta`).
+        Materialises the dominance matrix if it is not already decided.
+        """
+
+        matrix = self.dominance_matrix()
+        return CatalogSnapshot(
+            version=version,
+            names=self.names,
+            nonredundant_core=self._nonredundant_core(matrix),
+            equivalence_classes=self._equivalence_classes(matrix),
+            dominance=matrix,
+        )
+
+    def diff(self, previous: "CatalogAnalyzer", version: int = 0) -> CatalogDelta:
+        """The :class:`CatalogDelta` taking ``previous`` to this analyzer.
+
+        The changed-set accounting behind the service's subscription pushes:
+        views added/dropped/replaced, core membership changes, equivalence
+        classes formed/dissolved, dominance edges set/removed/flipped, plus
+        this analyzer's :meth:`decision_reuse` numbers.  Both matrices are
+        materialised by the comparison; when this analyzer was derived from
+        ``previous`` via :meth:`with_view`/:meth:`without_view` and
+        ``previous`` is already warm — the edit-stream steady state — the
+        diff costs set differences only, no new pair decisions beyond what
+        the incremental derivation already paid.
+        """
+
+        return compute_delta(previous, self, version=version)
 
     # ---------------------------------------------------------- incremental
     def _derive(self, views: Dict[str, View]) -> "CatalogAnalyzer":

@@ -1,0 +1,429 @@
+"""Changed-set accounting between catalog versions: the delta vocabulary.
+
+A :class:`repro.engine.CatalogAnalyzer` derived through
+:meth:`~repro.engine.CatalogAnalyzer.with_view` /
+:meth:`~repro.engine.CatalogAnalyzer.without_view` differs from its parent in
+a *changed set* — views added/dropped/replaced, nonredundant-core members
+entering or leaving, equivalence classes forming or dissolving, dominance
+edges appearing, disappearing or flipping.  This module is the vocabulary of
+that changed set:
+
+* :class:`CatalogDelta` — one version step, computed by
+  :func:`compute_delta` (what :meth:`CatalogAnalyzer.diff` returns).  A
+  delta is *foldable*: applying it to the previous version's state with the
+  ``fold_*`` functions reconstructs the next version's state exactly, which
+  is what :func:`repro.service.verify_subscriptions` checks bit for bit
+  against fresh serial analyzers.
+* :class:`CatalogSnapshot` — the full per-version state (core, equivalence
+  classes, dominance matrix); the payload of a subscription *resync* and the
+  version-0 base every delta fold starts from.
+* :func:`coalesce_deltas` — a run of consecutive deltas combined into one,
+  the catch-up payload a reconnecting subscriber folds instead of replaying
+  every intermediate version.
+
+The delta computer never decides a dominance pair of its own: it compares
+the two analyzers' *already materialised* matrices — the incremental edit
+paid for every new decision, so a delta costs set differences only
+(:meth:`CatalogAnalyzer.diff` documents the warm-matrix contract).
+
+Topic names double as the subscription vocabulary of
+:mod:`repro.service.subscriptions`: a delta *matches* a topic when the
+corresponding slice of the changed set is nonempty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
+
+__all__ = [
+    "CatalogDelta",
+    "CatalogSnapshot",
+    "TOPIC_CORE",
+    "TOPIC_DOMINANCE",
+    "TOPIC_EQUIVALENCE_CLASSES",
+    "VIEW_REPORT_PREFIX",
+    "classes_from_matrix",
+    "coalesce_deltas",
+    "compute_delta",
+    "core_from_matrix",
+    "fold_classes",
+    "fold_core",
+    "fold_matrix",
+]
+
+#: An ordered pair of catalog view names (the dominance-matrix key shape).
+Pair = PyTuple[str, str]
+
+#: Subscription topic: nonredundant-core membership changes.
+TOPIC_CORE = "core"
+
+#: Subscription topic: equivalence classes forming or dissolving.
+TOPIC_EQUIVALENCE_CLASSES = "equivalence_classes"
+
+#: Subscription topic: dominance edges set, flipped or removed.
+TOPIC_DOMINANCE = "dominance"
+
+#: Subscription topic prefix: ``view_report:<name>`` fires when the named
+#: view itself is added, replaced or dropped (a per-view report depends only
+#: on its own view, so nothing else can change it).
+VIEW_REPORT_PREFIX = "view_report:"
+
+
+# --------------------------------------------------------- pure derivations
+def classes_from_matrix(
+    names: Iterable[str], matrix: Mapping[Pair, bool]
+) -> PyTuple[PyTuple[str, ...], ...]:
+    """Maximal mutual-dominance groups of ``names`` under ``matrix``.
+
+    The same union-find :meth:`CatalogAnalyzer.equivalence_classes` runs on
+    its broadcast matrix, exposed as a pure function so a delta fold can
+    re-derive classes from a folded matrix without an analyzer.  Output is
+    deterministic: members sorted within a class, classes sorted by head.
+    """
+
+    parent = {name: name for name in names}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for (a, b), holds in matrix.items():
+        if holds and matrix[(b, a)]:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+    groups: Dict[str, List[str]] = {}
+    for name in parent:
+        groups.setdefault(find(name), []).append(name)
+    return tuple(
+        tuple(sorted(members))
+        for members in sorted(groups.values(), key=lambda m: min(m))
+    )
+
+
+def core_from_matrix(
+    names: Iterable[str], matrix: Mapping[Pair, bool]
+) -> PyTuple[str, ...]:
+    """The minimal dominating subset of ``names`` under ``matrix``.
+
+    The rule of :meth:`CatalogAnalyzer.nonredundant_core` as a pure
+    function: drop a view when another *strictly* dominates it, or when it
+    is equivalent to a lexicographically earlier view.  ``names`` must be
+    sorted for the output order to match the analyzer's.
+    """
+
+    ordered = list(names)
+    core: List[str] = []
+    for name in ordered:
+        subsumed = False
+        for other in ordered:
+            if other == name:
+                continue
+            if matrix[(other, name)]:
+                if not matrix[(name, other)] or other < name:
+                    subsumed = True
+                    break
+        if not subsumed:
+            core.append(name)
+    return tuple(core)
+
+
+# ------------------------------------------------------------- the snapshot
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """The full derived state of one catalog version.
+
+    What a subscription *resync* carries (and what a delta fold starts
+    from): the catalog names, the nonredundant core, the equivalence
+    classes and the complete dominance matrix — everything a subscriber
+    tracking any topic needs to re-anchor, with no further questions asked
+    of the service.
+    """
+
+    version: int
+    names: PyTuple[str, ...]
+    nonredundant_core: PyTuple[str, ...]
+    equivalence_classes: PyTuple[PyTuple[str, ...], ...]
+    dominance: Mapping[Pair, bool]
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able rendering (pair keys become nested ``{row: {col: bool}}``)."""
+
+        nested: Dict[str, Dict[str, bool]] = {name: {} for name in self.names}
+        for (a, b), holds in self.dominance.items():
+            nested[a][b] = holds
+        return {
+            "version": self.version,
+            "names": list(self.names),
+            "nonredundant_core": list(self.nonredundant_core),
+            "equivalence_classes": [list(m) for m in self.equivalence_classes],
+            "dominance": nested,
+        }
+
+
+# ---------------------------------------------------------------- the delta
+@dataclass(frozen=True)
+class CatalogDelta:
+    """The changed set between two consecutive catalog versions.
+
+    ``views_added``/``views_dropped``/``views_replaced`` name the edited
+    views; ``core_entered``/``core_left`` the nonredundant-core membership
+    changes; ``classes_formed``/``classes_dissolved`` the equivalence
+    classes that exist only after/only before (a split or merge shows up as
+    dissolved old classes plus formed new ones); ``edges_set`` maps every
+    ordered pair whose dominance verdict is new or changed to its new value,
+    and ``edges_removed`` lists the pairs that left the matrix with a
+    dropped view.  ``decisions_reused``/``decisions_needed`` carry the
+    edit's incremental accounting
+    (:meth:`repro.engine.CatalogAnalyzer.decision_reuse`).
+
+    Folding the delta over the previous version's state with
+    :func:`fold_core` / :func:`fold_classes` / :func:`fold_matrix`
+    reconstructs the new version's state exactly.
+    """
+
+    version: int
+    views_added: PyTuple[str, ...] = ()
+    views_dropped: PyTuple[str, ...] = ()
+    views_replaced: PyTuple[str, ...] = ()
+    core_entered: PyTuple[str, ...] = ()
+    core_left: PyTuple[str, ...] = ()
+    classes_formed: PyTuple[PyTuple[str, ...], ...] = ()
+    classes_dissolved: PyTuple[PyTuple[str, ...], ...] = ()
+    edges_set: Mapping[Pair, bool] = field(default_factory=dict)
+    edges_removed: PyTuple[Pair, ...] = ()
+    decisions_reused: int = 0
+    decisions_needed: int = 0
+
+    def topics(self) -> FrozenSet[str]:
+        """Every subscription topic this delta is relevant to."""
+
+        touched = set()
+        if self.core_entered or self.core_left:
+            touched.add(TOPIC_CORE)
+        if self.classes_formed or self.classes_dissolved:
+            touched.add(TOPIC_EQUIVALENCE_CLASSES)
+        if self.edges_set or self.edges_removed:
+            touched.add(TOPIC_DOMINANCE)
+        for name in self.views_added + self.views_dropped + self.views_replaced:
+            touched.add(VIEW_REPORT_PREFIX + name)
+        return frozenset(touched)
+
+    def matches(self, topics: AbstractSet[str]) -> bool:
+        """Whether any of ``topics`` is touched by this delta."""
+
+        return bool(self.topics() & set(topics))
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able rendering (pair keys become ``"a->b"`` strings)."""
+
+        return {
+            "version": self.version,
+            "views_added": list(self.views_added),
+            "views_dropped": list(self.views_dropped),
+            "views_replaced": list(self.views_replaced),
+            "core_entered": list(self.core_entered),
+            "core_left": list(self.core_left),
+            "classes_formed": [list(m) for m in self.classes_formed],
+            "classes_dissolved": [list(m) for m in self.classes_dissolved],
+            "edges_set": {
+                f"{a}->{b}": holds
+                for (a, b), holds in sorted(self.edges_set.items())
+            },
+            "edges_removed": [f"{a}->{b}" for a, b in self.edges_removed],
+            "decisions_reused": self.decisions_reused,
+            "decisions_needed": self.decisions_needed,
+        }
+
+
+def compute_delta(previous, current, version: int = 0) -> CatalogDelta:
+    """The :class:`CatalogDelta` taking ``previous`` to ``current``.
+
+    Both arguments are :class:`~repro.engine.CatalogAnalyzer`-shaped (the
+    duck type needs ``views``, ``names``, ``dominance_matrix()``,
+    ``equivalence_classes()``, ``nonredundant_core()`` and
+    ``decision_reuse()``).  The comparison materialises both dominance
+    matrices; when ``current`` was derived incrementally from ``previous``
+    and both are already warm — the edit-stream steady state — this costs
+    set differences only, no new pair decisions.
+    """
+
+    prev_views = previous.views
+    cur_views = current.views
+    added = tuple(sorted(set(cur_views) - set(prev_views)))
+    dropped = tuple(sorted(set(prev_views) - set(cur_views)))
+    replaced = tuple(
+        sorted(
+            name
+            for name in set(cur_views) & set(prev_views)
+            if cur_views[name] != prev_views[name]
+        )
+    )
+    prev_matrix = previous.dominance_matrix()
+    cur_matrix = current.dominance_matrix()
+    edges_set = {
+        pair: holds
+        for pair, holds in cur_matrix.items()
+        if pair not in prev_matrix or prev_matrix[pair] != holds
+    }
+    edges_removed = tuple(
+        sorted(pair for pair in prev_matrix if pair not in cur_matrix)
+    )
+    prev_core = set(previous.nonredundant_core())
+    cur_core = set(current.nonredundant_core())
+    prev_classes = set(previous.equivalence_classes())
+    cur_classes = set(current.equivalence_classes())
+    reused, needed = current.decision_reuse()
+    return CatalogDelta(
+        version=version,
+        views_added=added,
+        views_dropped=dropped,
+        views_replaced=replaced,
+        core_entered=tuple(sorted(cur_core - prev_core)),
+        core_left=tuple(sorted(prev_core - cur_core)),
+        classes_formed=tuple(
+            sorted(cur_classes - prev_classes, key=lambda m: m[0])
+        ),
+        classes_dissolved=tuple(
+            sorted(prev_classes - cur_classes, key=lambda m: m[0])
+        ),
+        edges_set=edges_set,
+        edges_removed=edges_removed,
+        decisions_reused=reused,
+        decisions_needed=needed,
+    )
+
+
+# -------------------------------------------------------------------- folds
+def fold_core(core: AbstractSet[str], delta: CatalogDelta) -> FrozenSet[str]:
+    """``core`` advanced one version: members that left out, entrants in."""
+
+    return frozenset((set(core) - set(delta.core_left)) | set(delta.core_entered))
+
+
+def fold_classes(
+    classes: AbstractSet[PyTuple[str, ...]], delta: CatalogDelta
+) -> FrozenSet[PyTuple[str, ...]]:
+    """``classes`` advanced one version: dissolved classes out, formed in."""
+
+    return frozenset(
+        (set(classes) - set(delta.classes_dissolved)) | set(delta.classes_formed)
+    )
+
+
+def fold_matrix(matrix: Mapping[Pair, bool], delta: CatalogDelta) -> Dict[Pair, bool]:
+    """``matrix`` advanced one version: removed pairs out, set pairs (re)written.
+
+    Removals of pairs absent from ``matrix`` are no-ops, so folding a
+    *coalesced* delta — where a view may have been added and dropped inside
+    the window, removing pairs the start state never had — stays
+    well-defined.  Correctness is still fully checked: the verifier compares
+    the folded matrix against a fresh analyzer's, so an incomplete delta
+    cannot fold to the right answer by accident.
+    """
+
+    folded = dict(matrix)
+    for pair in delta.edges_removed:
+        folded.pop(pair, None)
+    folded.update(delta.edges_set)
+    return folded
+
+
+def coalesce_deltas(deltas: Sequence[CatalogDelta]) -> CatalogDelta:
+    """A run of consecutive deltas combined into one equivalent step.
+
+    Folding the coalesced delta over the state *before the first* delta
+    lands on the state *after the last* — the catch-up payload of a
+    subscriber reconnecting several versions behind.  Field-wise the
+    combination is the fold composition: later edge writes win, a core
+    member that entered and left nets out, a class formed and dissolved
+    inside the window disappears.  ``decisions_reused``/``decisions_needed``
+    accumulate across the window (the aggregate incremental accounting).
+    """
+
+    if not deltas:
+        raise ValueError("coalesce_deltas needs at least one delta")
+    added: set = set()
+    dropped: set = set()
+    replaced: set = set()
+    entered: set = set()
+    left: set = set()
+    formed: set = set()
+    dissolved: set = set()
+    edges_set: Dict[Pair, bool] = {}
+    edges_removed: set = set()
+    reused = 0
+    needed = 0
+    for delta in deltas:
+        for name in delta.views_dropped:
+            if name in added:
+                added.discard(name)
+            else:
+                dropped.add(name)
+            replaced.discard(name)
+        for name in delta.views_added:
+            if name in dropped:
+                # Existed at the window start, dropped, now back — possibly
+                # different, so the net effect is a replacement.
+                dropped.discard(name)
+                replaced.add(name)
+            else:
+                added.add(name)
+        for name in delta.views_replaced:
+            if name not in added:
+                replaced.add(name)
+        for name in delta.core_left:
+            if name in entered:
+                entered.discard(name)
+            else:
+                left.add(name)
+        for name in delta.core_entered:
+            if name in left:
+                left.discard(name)
+            else:
+                entered.add(name)
+        for members in delta.classes_dissolved:
+            if members in formed:
+                formed.discard(members)
+            else:
+                dissolved.add(members)
+        for members in delta.classes_formed:
+            if members in dissolved:
+                dissolved.discard(members)
+            else:
+                formed.add(members)
+        for pair in delta.edges_removed:
+            edges_set.pop(pair, None)
+            edges_removed.add(pair)
+        for pair, holds in delta.edges_set.items():
+            edges_set[pair] = holds
+            edges_removed.discard(pair)
+        reused += delta.decisions_reused
+        needed += delta.decisions_needed
+    return CatalogDelta(
+        version=deltas[-1].version,
+        views_added=tuple(sorted(added)),
+        views_dropped=tuple(sorted(dropped)),
+        views_replaced=tuple(sorted(replaced)),
+        core_entered=tuple(sorted(entered)),
+        core_left=tuple(sorted(left)),
+        classes_formed=tuple(sorted(formed, key=lambda m: m[0])),
+        classes_dissolved=tuple(sorted(dissolved, key=lambda m: m[0])),
+        edges_set=edges_set,
+        edges_removed=tuple(sorted(edges_removed)),
+        decisions_reused=reused,
+        decisions_needed=needed,
+    )

@@ -19,11 +19,23 @@ that the ROADMAP's "heavy traffic" north star calls for:
 * :func:`replay` / :func:`verify_replay` — drive simulated traffic
   (:mod:`repro.workloads.traffic`) through a service and verify every exact
   answer bit-identical against a fresh serial analyzer per catalog version.
+* :class:`~repro.service.subscriptions.SubscriptionHub` /
+  :class:`~repro.service.subscriptions.Subscription` — the streaming layer:
+  per-edit :class:`~repro.engine.CatalogDelta` pushes to topic subscribers
+  with bounded queues, snapshot resyncs for laggards and coalesced catch-up
+  on reconnect; :func:`verify_subscriptions` folds every delta over the
+  version-0 snapshot and demands bit-identity with fresh serial analyzers.
 """
 
 from repro.service.deadline import OVERLOAD_POLICY, DeadlinePolicy
 from repro.service.metrics import ServiceMetrics, percentile
-from repro.service.replay import replay, request_from_event, run_traffic, verify_replay
+from repro.service.replay import (
+    replay,
+    request_from_event,
+    run_traffic,
+    verify_replay,
+    verify_subscriptions,
+)
 from repro.service.requests import (
     EDIT_KINDS,
     READ_KINDS,
@@ -39,10 +51,24 @@ from repro.service.scheduler import (
     make_scheduler,
 )
 from repro.service.service import CatalogService
+from repro.service.subscriptions import (
+    EVENT_CLOSED,
+    EVENT_DELTA,
+    EVENT_RESYNC,
+    Subscription,
+    SubscriptionEvent,
+    SubscriptionHub,
+)
 
 __all__ = [
     "AdmissionScheduler",
     "CatalogService",
+    "EVENT_CLOSED",
+    "EVENT_DELTA",
+    "EVENT_RESYNC",
+    "Subscription",
+    "SubscriptionEvent",
+    "SubscriptionHub",
     "DeadlinePolicy",
     "EDIT_KINDS",
     "EdfScheduler",
@@ -60,4 +86,5 @@ __all__ = [
     "request_from_event",
     "run_traffic",
     "verify_replay",
+    "verify_subscriptions",
 ]

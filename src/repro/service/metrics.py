@@ -63,6 +63,17 @@ class ServiceMetrics:
     edit applied, how many representative dominance decisions the derived
     analyzer inherited versus how many its matrix needed
     (:meth:`repro.engine.CatalogAnalyzer.decision_reuse`).
+
+    The subscription block mirrors the
+    :class:`~repro.service.subscriptions.SubscriptionHub` ledger:
+    ``deltas_published`` counts per-edit deltas computed, ``deltas_delivered``
+    those committed to some subscriber (enqueued or folded into a resync),
+    ``deltas_filtered`` topic mismatches, ``deltas_superseded`` the delivered
+    deltas replaced by a lag resync, and ``resyncs`` the snapshot re-anchors
+    pushed.  ``push_p50_s``/``push_p95_s`` are per-edit push latencies (delta
+    diff + fan-out) over the recent window; ``push_total_s`` accumulates the
+    lifetime push cost — the number the benchmark's poll-vs-push comparison
+    divides by.
     """
 
     served: int = 0
@@ -84,6 +95,15 @@ class ServiceMetrics:
     queue_wait_p95_s: float = 0.0
     reuse_reused: int = 0
     reuse_needed: int = 0
+    subscribers: int = 0
+    deltas_published: int = 0
+    deltas_delivered: int = 0
+    deltas_filtered: int = 0
+    deltas_superseded: int = 0
+    resyncs: int = 0
+    push_p50_s: float = 0.0
+    push_p95_s: float = 0.0
+    push_total_s: float = 0.0
     cache: Dict[str, CacheStats] = field(default_factory=dict)
 
     # ------------------------------------------------------- guarded ratios
@@ -143,6 +163,17 @@ class ServiceMetrics:
                 "reused": self.reuse_reused,
                 "needed": self.reuse_needed,
                 "rate": round(self.reuse_rate, 6),
+            },
+            "subscriptions": {
+                "subscribers": self.subscribers,
+                "deltas_published": self.deltas_published,
+                "deltas_delivered": self.deltas_delivered,
+                "deltas_filtered": self.deltas_filtered,
+                "deltas_superseded": self.deltas_superseded,
+                "resyncs": self.resyncs,
+                "push_p50_s": self.push_p50_s,
+                "push_p95_s": self.push_p95_s,
+                "push_total_s": self.push_total_s,
             },
             "cache": {
                 name: {

@@ -12,6 +12,15 @@ share: every ``status="ok"`` answer is recomputed on a **fresh, serial**
 version the service answered at, and must match bit for bit.  ``partial``
 and ``refused`` answers must carry no verdict at all — the "explicit, never
 silently wrong" half of the service contract.
+
+:func:`verify_subscriptions` is the same honesty check for the streaming
+layer: the per-edit delta log folds over the version-0 snapshot and must
+reconstruct the fresh serial analyzer's core, equivalence classes and
+dominance matrix **bit-identically at every version**; each subscriber's
+received stream folds to the same states for its topics (re-anchoring on
+resync snapshots, which are themselves verified); and the delivery ledger
+must balance — ``delivered == consumed + pending + superseded`` — so no
+delta was ever silently dropped.
 """
 
 from __future__ import annotations
@@ -21,13 +30,30 @@ import time
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.catalog import CatalogAnalyzer
+from repro.engine.delta import (
+    TOPIC_CORE,
+    TOPIC_DOMINANCE,
+    TOPIC_EQUIVALENCE_CLASSES,
+    CatalogDelta,
+    CatalogSnapshot,
+    fold_classes,
+    fold_core,
+    fold_matrix,
+)
 from repro.service.deadline import DeadlinePolicy
 from repro.service.requests import ServiceRequest, ServiceResponse
 from repro.service.service import CatalogService
+from repro.service.subscriptions import EVENT_DELTA, EVENT_RESYNC
 from repro.views.closure import SearchLimits
 from repro.views.view import View
 
-__all__ = ["replay", "request_from_event", "run_traffic", "verify_replay"]
+__all__ = [
+    "replay",
+    "request_from_event",
+    "run_traffic",
+    "verify_replay",
+    "verify_subscriptions",
+]
 
 
 def request_from_event(event) -> ServiceRequest:
@@ -73,6 +99,7 @@ def run_traffic(
     queue_limit: Optional[int] = None,
     scheduler: str = "edf",
     policy: DeadlinePolicy = DeadlinePolicy(),
+    subscriber_specs: Optional[Sequence] = None,
 ) -> Dict[str, object]:
     """The one verified traffic lane the CLI and benchmark harness share.
 
@@ -81,9 +108,17 @@ def run_traffic(
     ``events``, snapshots metrics and verifies every exact answer
     against fresh serial analyzers built with the *same base limits* the
     service used.  Returns ``{"responses", "metrics", "history",
-    "elapsed_s", "verdict"}``; must be called from outside a running event
-    loop (it owns its own ``asyncio.run``).
+    "elapsed_s", "verdict", "subscriptions"}``; must be called from outside
+    a running event loop (it owns its own ``asyncio.run``).
+
+    ``subscriber_specs`` (e.g. from :func:`repro.workloads.subscriber_mix`)
+    attaches delta subscribers before the replay; their drained event
+    streams, the hub ledger and the retained delta log are then verified by
+    :func:`verify_subscriptions` and returned under ``"subscriptions"``
+    (``None`` when no specs were given).
     """
+
+    specs = list(subscriber_specs) if subscriber_specs else []
 
     async def drive():
         async with CatalogService(
@@ -95,18 +130,47 @@ def run_traffic(
             policy=policy,
             track_history=True,
         ) as service:
+            subscriptions = [
+                service.subscribe(spec.topics, buffer=spec.buffer) for spec in specs
+            ]
             started = time.perf_counter()
             responses = await replay(service, events)
             elapsed = time.perf_counter() - started
-            return responses, service.metrics(), service.catalog_history(), elapsed
+            # Drain while the service is still open: every pushed event is
+            # either here or counted superseded — the ledger the verifier
+            # balances.  stats() snapshots after the drain, so pending == 0.
+            records = [
+                {
+                    "topics": tuple(sorted(sub.topics)),
+                    "events": sub.drain(),
+                    "stats": sub.stats(),
+                }
+                for sub in subscriptions
+            ]
+            return (
+                responses,
+                service.metrics(),
+                service.catalog_history(),
+                service.delta_log(),
+                records,
+                elapsed,
+            )
 
-    responses, metrics, history, elapsed = asyncio.run(drive())
+    responses, metrics, history, delta_log, records, elapsed = asyncio.run(drive())
+    subscriptions = None
+    if specs:
+        subscriptions = {
+            "records": records,
+            "delta_log": delta_log,
+            "verdict": verify_subscriptions(history, delta_log, records, limits),
+        }
     return {
         "responses": responses,
         "metrics": metrics,
         "history": history,
         "elapsed_s": elapsed,
         "verdict": verify_replay(history, events, responses, limits),
+        "subscriptions": subscriptions,
     }
 
 
@@ -227,5 +291,246 @@ def verify_replay(
         "checked": checked,
         "skipped": skipped,
         "shed": shed,
+        "mismatches": mismatches,
+    }
+
+
+def _fresh_snapshot(
+    version: int,
+    history: Mapping[int, Mapping[str, View]],
+    limits: SearchLimits,
+    cache: Dict[int, CatalogSnapshot],
+) -> Optional[CatalogSnapshot]:
+    if version not in cache:
+        if version not in history:
+            return None
+        cache[version] = CatalogAnalyzer(
+            dict(history[version]), limits=limits
+        ).snapshot(version)
+    return cache[version]
+
+
+def _compare_states(
+    index: object,
+    version: int,
+    topics,
+    core,
+    classes,
+    matrix,
+    fresh: CatalogSnapshot,
+    mismatches: List[Dict[str, object]],
+) -> None:
+    """Record any folded-vs-fresh divergence for the checked topics."""
+
+    if TOPIC_CORE in topics and tuple(sorted(core)) != fresh.nonredundant_core:
+        mismatches.append(
+            {
+                "subscriber": index,
+                "version": version,
+                "topic": TOPIC_CORE,
+                "expected": fresh.nonredundant_core,
+                "got": tuple(sorted(core)),
+            }
+        )
+    if TOPIC_EQUIVALENCE_CLASSES in topics and set(classes) != set(
+        fresh.equivalence_classes
+    ):
+        mismatches.append(
+            {
+                "subscriber": index,
+                "version": version,
+                "topic": TOPIC_EQUIVALENCE_CLASSES,
+                "expected": fresh.equivalence_classes,
+                "got": tuple(sorted(classes, key=lambda m: m[0])),
+            }
+        )
+    if TOPIC_DOMINANCE in topics and dict(matrix) != dict(fresh.dominance):
+        differing = sorted(
+            set(dict(matrix).items()) ^ set(dict(fresh.dominance).items())
+        )[:8]
+        mismatches.append(
+            {
+                "subscriber": index,
+                "version": version,
+                "topic": TOPIC_DOMINANCE,
+                "differing_entries": differing,
+            }
+        )
+
+
+_ALL_TOPICS = frozenset(
+    (TOPIC_CORE, TOPIC_EQUIVALENCE_CLASSES, TOPIC_DOMINANCE)
+)
+
+
+def verify_subscriptions(
+    history: Mapping[int, Mapping[str, View]],
+    delta_log: Mapping[int, CatalogDelta],
+    subscriber_records: Sequence[Mapping[str, object]] = (),
+    limits: SearchLimits = SearchLimits(),
+) -> Dict[str, object]:
+    """Fold-verify the streaming layer against fresh serial analyzers.
+
+    Three checks, mirroring the delivery contract of
+    :mod:`repro.service.subscriptions`:
+
+    1. **Full-log fold** — the retained per-version deltas fold over the
+       version-0 snapshot and must reconstruct the fresh serial analyzer's
+       nonredundant core, equivalence classes *and* dominance matrix
+       bit-identically at every version in ``history``.
+    2. **Per-subscriber fold** — each drained event stream (from
+       :func:`run_traffic`'s ``subscriber_records``: ``{"topics",
+       "events", "stats"}``) folds to the same states for its subscribed
+       topics, re-anchoring on resync snapshots — which are themselves
+       compared against the fresh state of their version.  Versions must
+       be strictly increasing and every delivered delta must match the
+       subscriber's topics.
+    3. **No silent drops** — the ledger balances per subscriber:
+       ``delivered == consumed + pending + superseded`` and
+       ``delivered + filtered == published_seen``; any imbalance counts
+       into ``silent_drops``.
+
+    Returns ``{"versions_checked", "subscribers_checked", "events_checked",
+    "resyncs", "silent_drops", "mismatches"}``.
+    """
+
+    cache: Dict[int, CatalogSnapshot] = {}
+    mismatches: List[Dict[str, object]] = []
+    versions_checked = 0
+    events_checked = 0
+    resyncs = 0
+    silent_drops = 0
+
+    # 1. Full-log fold over every version the history covers.
+    base = _fresh_snapshot(0, history, limits, cache)
+    if base is None:
+        mismatches.append({"error": "history has no version-0 snapshot"})
+    else:
+        core = set(base.nonredundant_core)
+        classes = set(base.equivalence_classes)
+        matrix = dict(base.dominance)
+        for version in sorted(v for v in history if v > 0):
+            delta = delta_log.get(version)
+            if delta is None:
+                mismatches.append(
+                    {"version": version, "error": "no delta retained for version"}
+                )
+                break
+            if delta.version != version:
+                mismatches.append(
+                    {
+                        "version": version,
+                        "error": f"delta carries version {delta.version}",
+                    }
+                )
+            core = set(fold_core(core, delta))
+            classes = set(fold_classes(classes, delta))
+            matrix = fold_matrix(matrix, delta)
+            fresh = _fresh_snapshot(version, history, limits, cache)
+            _compare_states(
+                "log", version, _ALL_TOPICS, core, classes, matrix, fresh, mismatches
+            )
+            versions_checked += 1
+
+    # 2 + 3. Per-subscriber stream folds and the delivery ledger.
+    for index, record in enumerate(subscriber_records):
+        topics = frozenset(record["topics"])
+        events = record["events"]
+        stats = record["stats"]
+        resyncs += stats["resyncs"]
+        if stats["delivered"] + stats["filtered"] != stats["published_seen"]:
+            mismatches.append(
+                {
+                    "subscriber": index,
+                    "error": (
+                        "ledger imbalance: delivered + filtered != published "
+                        f"({stats['delivered']} + {stats['filtered']} != "
+                        f"{stats['published_seen']})"
+                    ),
+                }
+            )
+        drops = stats["delivered"] - (
+            stats["consumed"] + stats["pending"] + stats["superseded"]
+        )
+        if drops != 0:
+            silent_drops += abs(drops)
+            mismatches.append(
+                {
+                    "subscriber": index,
+                    "error": (
+                        f"{drops} delta(s) unaccounted for: delivered "
+                        f"{stats['delivered']}, consumed {stats['consumed']}, "
+                        f"pending {stats['pending']}, superseded "
+                        f"{stats['superseded']}"
+                    ),
+                }
+            )
+        if base is None:
+            continue
+        core = set(base.nonredundant_core)
+        classes = set(base.equivalence_classes)
+        matrix = dict(base.dominance)
+        last_version = 0
+        for event in events:
+            if event.type == EVENT_RESYNC:
+                snapshot = event.snapshot
+                fresh = _fresh_snapshot(snapshot.version, history, limits, cache)
+                if fresh is not None:
+                    _compare_states(
+                        index,
+                        snapshot.version,
+                        _ALL_TOPICS,
+                        set(snapshot.nonredundant_core),
+                        set(snapshot.equivalence_classes),
+                        dict(snapshot.dominance),
+                        fresh,
+                        mismatches,
+                    )
+                core = set(snapshot.nonredundant_core)
+                classes = set(snapshot.equivalence_classes)
+                matrix = dict(snapshot.dominance)
+                last_version = snapshot.version
+                events_checked += 1
+                continue
+            if event.type != EVENT_DELTA:
+                continue
+            delta = event.delta
+            if not event.catch_up and not delta.matches(topics):
+                mismatches.append(
+                    {
+                        "subscriber": index,
+                        "version": event.version,
+                        "error": "delivered delta matches none of the topics",
+                    }
+                )
+            if event.version <= last_version:
+                mismatches.append(
+                    {
+                        "subscriber": index,
+                        "version": event.version,
+                        "error": (
+                            f"event version not increasing (last was "
+                            f"{last_version})"
+                        ),
+                    }
+                )
+            core = set(fold_core(core, delta))
+            classes = set(fold_classes(classes, delta))
+            matrix = fold_matrix(matrix, delta)
+            fresh = _fresh_snapshot(event.version, history, limits, cache)
+            if fresh is not None:
+                _compare_states(
+                    index, event.version, topics, core, classes, matrix, fresh,
+                    mismatches,
+                )
+            last_version = event.version
+            events_checked += 1
+
+    return {
+        "versions_checked": versions_checked,
+        "subscribers_checked": len(subscriber_records),
+        "events_checked": events_checked,
+        "resyncs": resyncs,
+        "silent_drops": silent_drops,
         "mismatches": mismatches,
     }

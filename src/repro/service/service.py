@@ -45,6 +45,18 @@ Design:
   matrix needed (:meth:`CatalogAnalyzer.decision_reuse`); the running ratio
   is the edit stream's decision-reuse rate, surfaced in :meth:`metrics`
   next to the memo-table hit rates.
+* **Subscriptions push, polls retire.**  :meth:`CatalogService.subscribe`
+  registers a topic subscriber with the service's
+  :class:`~repro.service.subscriptions.SubscriptionHub`; after each
+  committed edit the dispatcher computes the engine-level changed set
+  (:meth:`CatalogAnalyzer.diff` — set differences over the matrices the
+  edit already materialised) and pushes a versioned
+  :class:`~repro.engine.CatalogDelta` to every matching subscriber.  Slow
+  subscribers are resynced with a fresh snapshot, never silently dropped;
+  reconnects catch up from the retained delta log
+  (:mod:`repro.service.subscriptions` documents the delivery contract).
+  ``history_window`` bounds both the replay history and the delta log for
+  long-lived serving; catch-up past the window triggers a snapshot resync.
 """
 
 from __future__ import annotations
@@ -57,6 +69,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, Dict, Hashable, Optional, Set
 
 from repro.engine.catalog import CatalogAnalyzer, ViewsInput
+from repro.engine.delta import CatalogDelta, CatalogSnapshot
 from repro.exceptions import ReproError
 from repro.perf.cache import cache_stats
 from repro.relalg.ast import Expression
@@ -73,6 +86,12 @@ from repro.service.scheduler import (
     AdmissionScheduler,
     ScheduledEntry,
     make_scheduler,
+)
+from repro.service.subscriptions import (
+    DEFAULT_BUFFER,
+    Subscription,
+    SubscriptionHub,
+    evict_versions,
 )
 from repro.views.capacity import QueryCapacity
 from repro.views.closure import SearchLimits
@@ -124,6 +143,12 @@ class CatalogService:
         every answer against a fresh analyzer on the exact catalog state it
         was computed from.  Cheap for test/benchmark catalogs; off by
         default for long-lived serving.
+    history_window:
+        Retain only the most recent ``history_window`` catalog versions in
+        the replay history *and* the subscription delta log (``None``,
+        the default, retains everything — what replay verification needs).
+        A subscriber catching up from a version already evicted gets a
+        snapshot resync instead of a delta catch-up.
     clock:
         Monotonic time source (injectable for tests).
 
@@ -139,6 +164,7 @@ class CatalogService:
         scheduler: str = "edf",
         policy: DeadlinePolicy = DeadlinePolicy(),
         track_history: bool = False,
+        history_window: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
@@ -161,6 +187,10 @@ class CatalogService:
         self._history: Optional[Dict[int, Dict[str, View]]] = (
             {0: self._analyzer.views} if track_history else None
         )
+        self._history_window = None if history_window is None else int(history_window)
+        # The hub validates the window (>= 1); deltas are published to it
+        # inline by the edit path after every commit.
+        self._hub = SubscriptionHub(window=self._history_window)
         # Lifecycle state, created in start().
         self._sched: Optional[AdmissionScheduler] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -184,6 +214,8 @@ class CatalogService:
         self._queue_waits: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._reuse_reused = 0
         self._reuse_needed = 0
+        self._push_latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._push_total_s = 0.0
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "CatalogService":
@@ -219,6 +251,9 @@ class CatalogService:
         self._executor.shutdown(wait=True)
         self._dispatcher = None
         self._executor = None
+        # Every subscriber gets a terminal closed event — iterating
+        # consumers terminate instead of awaiting a push that never comes.
+        self._hub.close()
 
     async def __aenter__(self) -> "CatalogService":
         return await self.start()
@@ -252,7 +287,10 @@ class CatalogService:
         return self._analyzer
 
     def catalog_history(self) -> Dict[int, Dict[str, View]]:
-        """``{version: views}`` snapshots (requires ``track_history=True``)."""
+        """``{version: views}`` snapshots (requires ``track_history=True``).
+
+        With a ``history_window`` set, only the retained versions appear.
+        """
 
         if self._history is None:
             raise ServiceError(
@@ -260,6 +298,55 @@ class CatalogService:
                 "track_history=True"
             )
         return {version: dict(views) for version, views in self._history.items()}
+
+    # --------------------------------------------------------- subscriptions
+    def subscribe(
+        self,
+        topics,
+        buffer: int = DEFAULT_BUFFER,
+        from_version: Optional[int] = None,
+    ) -> Subscription:
+        """Register a topic subscriber; deltas push after every edit commit.
+
+        ``topics`` is an iterable over ``"core"``, ``"equivalence_classes"``,
+        ``"dominance"`` and ``"view_report:<name>"``; ``buffer`` bounds the
+        per-subscriber queue (overflow supersedes pending deltas with one
+        snapshot resync); ``from_version`` catches a reconnecting subscriber
+        up — one coalesced delta while the retained log covers the gap, a
+        snapshot resync past the window.  Must be called from the event-loop
+        thread (the queue is loop-confined).
+        """
+
+        return self._hub.subscribe(
+            topics,
+            buffer=buffer,
+            from_version=from_version,
+            current_version=self._version,
+            snapshot_fn=self._snapshot,
+        )
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Deregister a subscriber; it receives a terminal ``closed`` event."""
+
+        self._hub.unsubscribe(subscription)
+
+    def delta_log(self) -> Dict[int, CatalogDelta]:
+        """The retained ``{version: CatalogDelta}`` log (a copy).
+
+        Unbounded by default; ``history_window`` bounds it.  The replay
+        verifier folds this log over the version-0 snapshot and demands
+        bit-identity with fresh serial analyzers at every version.
+        """
+
+        return self._hub.delta_log()
+
+    def subscription_stats(self) -> Dict[str, int]:
+        """Hub-level delivery counters (published/delivered/filtered/…)."""
+
+        return self._hub.stats()
+
+    def _snapshot(self) -> CatalogSnapshot:
+        return self._analyzer.snapshot(self._version)
 
     # ------------------------------------------------------------ submission
     async def submit(self, request: ServiceRequest) -> ServiceResponse:
@@ -449,6 +536,15 @@ class CatalogService:
             queue_wait_p95_s=percentile(self._queue_waits, 0.95),
             reuse_reused=self._reuse_reused,
             reuse_needed=self._reuse_needed,
+            subscribers=self._hub.subscriber_count,
+            deltas_published=self._hub.published,
+            deltas_delivered=self._hub.delivered,
+            deltas_filtered=self._hub.filtered,
+            deltas_superseded=self._hub.superseded,
+            resyncs=self._hub.resyncs,
+            push_p50_s=percentile(self._push_latencies, 0.5),
+            push_p95_s=percentile(self._push_latencies, 0.95),
+            push_total_s=self._push_total_s,
             cache=cache_stats(),
         )
 
@@ -579,9 +675,17 @@ class CatalogService:
                     self._executor, lambda: previous.without_view(request.subject)
                 )
             reused, needed = derived.decision_reuse()
+
             # Materialise the matrix eagerly so the edit pays the decision
-            # delta itself and subsequent reads stay warm.
-            await loop.run_in_executor(self._executor, derived.dominance_matrix)
+            # delta itself and subsequent reads stay warm.  The previous
+            # version's matrix is materialised too (warm no-op except at the
+            # very first edit of a never-read catalog) so the subscription
+            # diff below never decides pairs on the event-loop thread.
+            def materialise():
+                derived.dominance_matrix()
+                previous.dominance_matrix()
+
+            await loop.run_in_executor(self._executor, materialise)
         except Exception as error:  # noqa: BLE001 — the dispatcher must survive
             # Any escape here would kill the dispatcher and hang every
             # pending submitter, so *all* failures resolve the future; the
@@ -600,6 +704,29 @@ class CatalogService:
         self._reuse_needed += needed
         if self._history is not None:
             self._history[self._version] = derived.views
+            evict_versions(self._history, self._version, self._history_window)
+        # Push the changed set to subscribers.  The edit just materialised
+        # the derived matrix and `previous` was materialised at the prior
+        # version (or by the first delta), so the diff costs set differences
+        # only; push latency = diff + O(subscribers) enqueues, recorded for
+        # the metrics percentiles.  A delta failure must not kill the
+        # dispatcher or silently skip a version: subscribers are force-
+        # resynced onto a fresh snapshot instead.
+        push_started = self._clock()
+        try:
+            delta = derived.diff(previous, version=self._version)
+            self._hub.publish(delta, self._snapshot)
+        except Exception as error:  # noqa: BLE001 — the dispatcher must survive
+            self._hub.force_resync(
+                self._snapshot,
+                reason=(
+                    f"delta computation failed at version {self._version}: "
+                    f"{type(error).__name__}: {error}"
+                ),
+            )
+        push_elapsed = max(0.0, self._clock() - push_started)
+        self._push_latencies.append(push_elapsed)
+        self._push_total_s += push_elapsed
         self._finish(
             item,
             status="ok",

@@ -23,7 +23,13 @@ from repro.workloads.synthetic import (
     redundant_view,
     view_catalog,
 )
-from repro.workloads.traffic import TrafficEvent, overload_mix, traffic_mix
+from repro.workloads.traffic import (
+    SubscriberSpec,
+    TrafficEvent,
+    overload_mix,
+    subscriber_mix,
+    traffic_mix,
+)
 
 __all__ = [
     "Example222",
@@ -45,7 +51,9 @@ __all__ = [
     "random_view",
     "redundant_view",
     "view_catalog",
+    "SubscriberSpec",
     "TrafficEvent",
     "overload_mix",
+    "subscriber_mix",
     "traffic_mix",
 ]

@@ -28,6 +28,14 @@ Shape of the mix:
 Everything is driven by one :class:`random.Random` seed, so a traffic run
 is reproducible event for event.
 
+:func:`subscriber_mix` generates the companion *subscriber* population for
+the streaming layer: seeded topic sets and queue bounds
+(:class:`SubscriberSpec`) that :func:`repro.service.replay.run_traffic`
+attaches before a replay — the first subscriber always covers every
+catalog-level topic (the stream the fold verifier checks end to end), the
+rest draw partial topic sets with small buffers so the lag-resync path is
+exercised under edit bursts.
+
 :func:`overload_mix` is the adversarial companion: mixed-deadline *bursts*
 that make the admission-scheduling policy measurable.  Each burst submits a
 run of loose-deadline reads followed by tight-deadline reads — exactly the
@@ -49,7 +57,13 @@ from repro.relational.schema import DatabaseSchema
 from repro.views.view import View
 from repro.workloads.synthetic import random_expression, random_view
 
-__all__ = ["TrafficEvent", "overload_mix", "traffic_mix"]
+__all__ = [
+    "SubscriberSpec",
+    "TrafficEvent",
+    "overload_mix",
+    "subscriber_mix",
+    "traffic_mix",
+]
 
 #: Relative weights of the read kinds in the generated mix.
 _READ_WEIGHTS = (
@@ -139,6 +153,67 @@ def _pick_edit(
         )
     added.append(name)
     return TrafficEvent(kind="add_view", subject=name, view=view)
+
+
+@dataclass(frozen=True)
+class SubscriberSpec:
+    """One simulated delta subscriber: its topic set and queue bound.
+
+    Plain data with no service dependency, mirroring
+    :meth:`repro.service.CatalogService.subscribe` arguments the way
+    :class:`TrafficEvent` mirrors :class:`~repro.service.ServiceRequest`.
+    """
+
+    topics: tuple
+    buffer: int = 8
+
+
+#: Topic names duplicated from :mod:`repro.engine.delta` so the workload
+#: layer stays service/engine-import free (mirroring TrafficEvent).
+_CATALOG_TOPICS = ("core", "equivalence_classes", "dominance")
+
+
+def subscriber_mix(
+    catalog: Dict[str, View],
+    subscribers: int = 4,
+    seed: int = 0,
+    min_buffer: int = 2,
+    max_buffer: int = 8,
+) -> List[SubscriberSpec]:
+    """A seeded mix of ``subscribers`` delta subscribers over ``catalog``.
+
+    The first subscriber always watches every catalog-level topic with the
+    largest buffer — the full-coverage stream the replay verifier folds end
+    to end.  The rest draw one or two seeded topics from the catalog-level
+    set plus ``view_report:<name>`` over the base names, with seeded buffers
+    in ``[min_buffer, max_buffer]`` — small enough that bursty edit runs
+    overflow some of them and exercise the lag-resync path.
+    """
+
+    if subscribers < 1:
+        raise WorkloadError(
+            f"a subscriber mix needs at least one subscriber, got {subscribers}"
+        )
+    if not catalog:
+        raise WorkloadError("a subscriber mix needs a nonempty catalog")
+    if not 1 <= min_buffer <= max_buffer:
+        raise WorkloadError(
+            f"buffers need 1 <= min <= max, got [{min_buffer}, {max_buffer}]"
+        )
+    rng = random.Random(seed)
+    pool = list(_CATALOG_TOPICS) + [
+        f"view_report:{name}" for name in sorted(catalog)
+    ]
+    specs = [SubscriberSpec(topics=_CATALOG_TOPICS, buffer=max_buffer)]
+    while len(specs) < subscribers:
+        count = 1 if rng.random() < 0.5 else 2
+        topics = tuple(sorted(rng.sample(pool, min(count, len(pool)))))
+        specs.append(
+            SubscriberSpec(
+                topics=topics, buffer=rng.randint(min_buffer, max_buffer)
+            )
+        )
+    return specs
 
 
 def traffic_mix(

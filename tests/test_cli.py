@@ -227,6 +227,69 @@ class TestTraffic:
         status, _output = run_cli(["traffic", "--scheduler", "lifo"])
         assert status == 2  # argparse usage error
 
+    def test_traffic_subscribers_verify_and_report(self):
+        status, output = run_cli(
+            [
+                "traffic",
+                "--subscribers",
+                "3",
+                "--requests",
+                "30",
+                "--edit-rate",
+                "0.3",
+                "--jobs",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert status == 0
+        assert "subscriptions: 3 subscribers" in output
+        assert "0 mismatches, 0 silent drops" in output
+
+    def test_traffic_subscribers_json_summary(self):
+        status, output = run_cli(
+            [
+                "traffic",
+                "--subscribers",
+                "2",
+                "--requests",
+                "25",
+                "--edit-rate",
+                "0.3",
+                "--seed",
+                "2",
+                "--json",
+            ]
+        )
+        assert status == 0
+        summary = json.loads(output)
+        sub = summary["subscriptions"]
+        assert sub["subscribers"] == 2
+        assert sub["deltas_published"] == summary["metrics"]["edits"]
+        assert sub["fold_mismatches"] == 0
+        assert sub["silent_drops"] == 0
+        assert sub["versions_fold_verified"] == summary["metrics"]["edits"]
+        assert "push_p95_s" in sub
+        # The per-edit reuse satellite: one entry per applied edit, in
+        # version order, each carrying its own incremental accounting.
+        per_edit = summary["per_edit_reuse"]
+        assert len(per_edit) == summary["metrics"]["edits"]
+        assert [entry["version"] for entry in per_edit] == list(
+            range(1, len(per_edit) + 1)
+        )
+        assert all(0 <= e["reused"] <= e["needed"] or e["needed"] == 0 for e in per_edit)
+        assert sum(e["reused"] for e in per_edit) == summary["metrics"]["reuse"]["reused"]
+
+    def test_traffic_without_subscribers_has_no_subscription_block(self):
+        status, output = run_cli(
+            ["traffic", "--requests", "10", "--seed", "1", "--json"]
+        )
+        assert status == 0
+        summary = json.loads(output)
+        assert "subscriptions" not in summary
+        assert summary["metrics"]["subscriptions"]["subscribers"] == 0
+
 
 class TestSimplify:
     def test_simplify_emits_parseable_catalogue(self, catalogue_file):

@@ -10,6 +10,7 @@ from repro.workloads import (
     TrafficEvent,
     overload_mix,
     random_schema,
+    subscriber_mix,
     traffic_mix,
     view_catalog,
 )
@@ -208,3 +209,48 @@ class TestValidation:
         assert event.priority == 10
         assert event.deadline_s is None
         assert event.query is None and event.view is None
+
+
+class TestSubscriberMix:
+    def test_same_seed_same_specs(self, catalog_and_schema):
+        _schema, catalog = catalog_and_schema
+        first = subscriber_mix(catalog, subscribers=5, seed=3)
+        second = subscriber_mix(catalog, subscribers=5, seed=3)
+        assert first == second
+        assert first != subscriber_mix(catalog, subscribers=5, seed=4)
+
+    def test_first_subscriber_covers_every_catalog_topic(self, catalog_and_schema):
+        _schema, catalog = catalog_and_schema
+        specs = subscriber_mix(catalog, subscribers=4, seed=0)
+        assert len(specs) == 4
+        assert set(specs[0].topics) == {"core", "equivalence_classes", "dominance"}
+        for spec in specs:
+            assert spec.topics
+            assert spec.buffer >= 1
+            for topic in spec.topics:
+                assert (
+                    topic in ("core", "equivalence_classes", "dominance")
+                    or topic.startswith("view_report:")
+                )
+
+    def test_view_report_topics_name_base_views(self, catalog_and_schema):
+        _schema, catalog = catalog_and_schema
+        specs = subscriber_mix(catalog, subscribers=12, seed=1)
+        named = {
+            topic[len("view_report:"):]
+            for spec in specs
+            for topic in spec.topics
+            if topic.startswith("view_report:")
+        }
+        assert named <= set(catalog)
+
+    def test_rejects_bad_parameters(self, catalog_and_schema):
+        _schema, catalog = catalog_and_schema
+        with pytest.raises(WorkloadError):
+            subscriber_mix(catalog, subscribers=0)
+        with pytest.raises(WorkloadError):
+            subscriber_mix({}, subscribers=2)
+        with pytest.raises(WorkloadError):
+            subscriber_mix(catalog, subscribers=2, min_buffer=0)
+        with pytest.raises(WorkloadError):
+            subscriber_mix(catalog, subscribers=2, min_buffer=5, max_buffer=2)
