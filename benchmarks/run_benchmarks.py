@@ -14,7 +14,10 @@ recording the miss-rate split and shed rate of each; PR 5 adds the
 subscription lanes measuring delta-push latency and the server work saved
 by pushing per-edit deltas instead of answering per-client core polls,
 with every delta fold verified bit-identical against fresh serial
-analyzers) — against both engines:
+analyzers; PR 6 adds the journal/recovery lanes measuring the fsync-policy
+cost of the durable delta journal and snapshot+fold crash recovery against
+cold re-analysis, the recovered analyzer verified bit-identical) — against
+both engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -43,6 +46,7 @@ import json
 import os
 import statistics
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List
 
@@ -59,7 +63,12 @@ from repro.baselines.seed_engine import (  # noqa: E402
 )
 from repro.engine import CatalogAnalyzer, process_chunksize  # noqa: E402
 from repro.perf import cache_stats, clear_caches  # noqa: E402
-from repro.service import OVERLOAD_POLICY, run_traffic  # noqa: E402
+from repro.service import (  # noqa: E402
+    OVERLOAD_POLICY,
+    DeltaJournal,
+    recover_service,
+    run_traffic,
+)
 from repro.relalg import parse_expression  # noqa: E402
 from repro.relational import DatabaseSchema, RelationName  # noqa: E402
 from repro.views import (  # noqa: E402
@@ -451,6 +460,14 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
     silent drops) and ``work_saved_ratio`` — server compute spent answering
     the injected polls divided by the total delta push cost for the same
     edit stream.
+
+    The PR-6 **journal / recovery lanes** replay the base mix once per
+    journal fsync policy (``off`` / ``batched`` / ``per_record``) from cold
+    caches — the durability cost of journaling every committed edit inline
+    — then time crash recovery from the batched journal (latest snapshot +
+    folded deltas, the dominance matrix adopted without re-deciding a
+    single pair) against a cold full re-analysis of the recovered catalog;
+    the recovered analyzer must verify bit-identical.
     """
 
     schema = random_schema(SchemaSpec(relations=4, arity=2, universe_size=5), seed=29)
@@ -630,6 +647,65 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         )
     )
 
+    # Journal / recovery lanes (PR 6): the base traffic mix replayed once
+    # per journal fsync policy from cold caches — the durability cost of
+    # journaling every committed edit inline (off / batched / per_record) —
+    # then crash recovery from the batched journal (latest snapshot +
+    # folded deltas, adopted without re-deciding any dominance pair) timed
+    # against a cold full re-analysis of the same recovered catalog.  The
+    # recovered analyzer is verified bit-identical to the fresh one and
+    # gates ``all_identical`` like every other agreement check.
+    journal_dir = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    fsync_lanes = []
+    recover_path = None
+    for fsync_policy in ("off", "batched", "per_record"):
+        path = os.path.join(journal_dir, f"journal_{fsync_policy}.jsonl")
+        journal = DeltaJournal(path, fsync=fsync_policy, snapshot_every=16)
+        clear_caches()
+        lane = run_traffic(catalog, events, jobs=jobs, journal=journal)
+        all_identical = all_identical and not lane["verdict"]["mismatches"]
+        stats = lane["journal"]
+        fsync_lanes.append(
+            {
+                "fsync": fsync_policy,
+                "elapsed_s": lane["elapsed_s"],
+                "records": stats["records"],
+                "bytes": stats["bytes"],
+                "fsyncs": stats["fsyncs"],
+            }
+        )
+        lanes.append(
+            lane_entry(f"service_journal_{fsync_policy}", lane, {"journal": stats})
+        )
+        if fsync_policy == "batched":
+            recover_path = path
+
+    result = recover_service(recover_path)
+    recovery_mismatches = result.verify()  # clears memo tables, fresh build
+    all_identical = all_identical and not recovery_mismatches
+    clear_caches()
+    reanalysis_started = time.perf_counter()
+    CatalogAnalyzer(dict(result.views), limits=result.limits).snapshot(
+        result.version
+    )
+    cold_reanalysis_s = time.perf_counter() - reanalysis_started
+    recovery = {
+        "journal_path_records": result.records_read,
+        "deltas_folded": result.deltas_folded,
+        "snapshots_seen": result.snapshots_seen,
+        "journal_bytes": result.journal_bytes,
+        "recovered_version": result.version,
+        "recovery_s": result.recovery_time_s,
+        "cold_reanalysis_s": cold_reanalysis_s,
+        "recovery_speedup": (
+            cold_reanalysis_s / result.recovery_time_s
+            if result.recovery_time_s > 0
+            else 0.0
+        ),
+        "verify_mismatches": len(recovery_mismatches),
+        "fsync_lanes": fsync_lanes,
+    }
+
     subscription = {
         "subscribers": sub_subscribers,
         "deltas_published": push_m["deltas_published"],
@@ -652,6 +728,7 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         "overload_miss_rates": overload_rates,
         "edf_miss_below_fifo": overload_rates["edf"] < overload_rates["fifo"],
         "subscription": subscription,
+        "recovery": recovery,
     }
 
 
@@ -717,6 +794,21 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 f"({sub['fold_mismatches']} mismatches, "
                 f"{sub['silent_drops']} drops)"
             )
+        if "recovery" in summary:
+            rec = summary["recovery"]
+            fsync_costs = ", ".join(
+                f"{lane['fsync']} {lane['elapsed_s'] * 1000:.1f}ms"
+                f"/{lane['fsyncs']} fsyncs"
+                for lane in rec["fsync_lanes"]
+            )
+            print(
+                f"[bench]   recovery: {rec['deltas_folded']} deltas folded over "
+                f"snapshot in {rec['recovery_s'] * 1000:.2f}ms vs cold "
+                f"re-analysis {rec['cold_reanalysis_s'] * 1000:.2f}ms "
+                f"({rec['recovery_speedup']:.1f}x, "
+                f"{rec['verify_mismatches']} verify mismatches); "
+                f"fsync cost: {fsync_costs}"
+            )
     summary_block = {}
     for name in suites:
         entry: Dict[str, object] = {}
@@ -757,9 +849,26 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                     "fold_mismatches": sub["fold_mismatches"],
                     "silent_drops": sub["silent_drops"],
                 }
+            if "recovery" in suites[name]:
+                rec = suites[name]["recovery"]
+                entry["recovery"] = {
+                    "recovery_s": round(rec["recovery_s"], 6),
+                    "cold_reanalysis_s": round(rec["cold_reanalysis_s"], 6),
+                    "recovery_speedup": round(rec["recovery_speedup"], 3),
+                    "deltas_folded": rec["deltas_folded"],
+                    "journal_bytes": rec["journal_bytes"],
+                    "verify_mismatches": rec["verify_mismatches"],
+                    "fsync": {
+                        lane["fsync"]: {
+                            "elapsed_s": round(lane["elapsed_s"], 6),
+                            "fsyncs": lane["fsyncs"],
+                        }
+                        for lane in rec["fsync_lanes"]
+                    },
+                }
         summary_block[name] = entry
     report = {
-        "schema_version": 4,
+        "schema_version": 5,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpus": os.cpu_count(),

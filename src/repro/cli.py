@@ -14,11 +14,18 @@ exposes the paper's decision procedures to shell users::
                                         # mixed-deadline bursts, EDF vs FIFO
     python -m repro.cli traffic --subscribers 4 --edit-rate 0.2 --jobs 2
                                         # streaming: push deltas per edit
+    python -m repro.cli traffic --journal /tmp/j.jsonl --crash-at 12
+                                        # journal every edit, die mid-write
+    python -m repro.cli recover /tmp/j.jsonl --verify
+                                        # fold the journal back, bit-verify
 
 Every subcommand prints human-readable text to stdout and exits with status 0
-on success, 1 when a decision is negative (member / equivalent answer "no"),
-and 2 on usage or input errors — so the commands compose in shell scripts.
-``catalog-analyze --json`` and ``traffic --json`` emit machine-readable JSON
+on success, 1 when a decision is negative (member / equivalent answer "no",
+``traffic``/``recover`` verification mismatches), and 2 on usage or input
+errors — including a corrupted journal, which ``recover`` refuses with the
+record-level diagnostic rather than folding a wrong catalog — so the
+commands compose in shell scripts.  ``catalog-analyze --json``,
+``traffic --json`` and ``recover --json`` emit machine-readable JSON
 instead, matching what :class:`repro.service.CatalogService` returns over
 its API.
 """
@@ -161,7 +168,64 @@ def build_parser() -> argparse.ArgumentParser:
         "was silently dropped",
     )
     traffic.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal every committed edit to an append-only CRC-framed delta "
+        "log at PATH (durable before the delta is published); recover it "
+        "later with the `recover` subcommand",
+    )
+    traffic.add_argument(
+        "--fsync",
+        choices=("per_record", "batched", "off"),
+        default="batched",
+        help="journal fsync policy: per_record (every append), batched "
+        "(default; every few records and on close) or off (no fsync)",
+    )
+    traffic.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        metavar="K",
+        help="kill the journal mid-write on edit K+1 (a torn partial record), "
+        "leaving exactly K edits durable; the service keeps serving — "
+        "exercise `recover` on the torn file afterwards (requires --journal)",
+    )
+    traffic.add_argument(
+        "--cache-warm",
+        action="store_true",
+        help="enable the delta-driven report prefetcher: an internal "
+        "subscriber warms view reports for added/replaced views as each "
+        "edit commits",
+    )
+    traffic.add_argument(
         "--json", action="store_true", help="emit the traffic summary as JSON"
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="recover a catalog from a delta journal: latest snapshot + "
+        "folded deltas, torn tail truncated, corruption refused",
+    )
+    recover.add_argument("journal", help="path to a delta journal file")
+    recover.add_argument(
+        "--verify",
+        action="store_true",
+        help="rebuild a fresh serial analyzer from the recovered catalog and "
+        "demand bit-identity (core, classes, dominance matrix); exits 1 on "
+        "any mismatch",
+    )
+    recover.add_argument(
+        "--repair",
+        action="store_true",
+        help="truncate a torn tail in place (recovery is read-only by default "
+        "so a crash during recovery changes nothing)",
+    )
+    recover.add_argument(
+        "--jobs", type=int, default=1, help="workers for the verification analyzer"
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="emit the recovery report as JSON"
     )
 
     return parser
@@ -241,9 +305,16 @@ def _cmd_catalog_analyze(
 
 
 def _cmd_traffic(args, out) -> int:
-    from repro.service import OVERLOAD_POLICY, DeadlinePolicy, run_traffic
+    from repro.service import (
+        OVERLOAD_POLICY,
+        DeadlinePolicy,
+        DeltaJournal,
+        FaultyFile,
+        run_traffic,
+    )
     from repro.service.requests import EDIT_KINDS
     from repro.workloads import (
+        IoFault,
         SchemaSpec,
         overload_mix,
         random_schema,
@@ -251,6 +322,13 @@ def _cmd_traffic(args, out) -> int:
         traffic_mix,
         view_catalog,
     )
+
+    if args.crash_at is not None and args.journal is None:
+        print("error: --crash-at requires --journal", file=out)
+        return 2
+    if args.crash_at is not None and args.crash_at < 0:
+        print(f"error: --crash-at must be >= 0, got {args.crash_at}", file=out)
+        return 2
 
     schema = random_schema(
         SchemaSpec(relations=4, arity=2, universe_size=5), seed=args.seed
@@ -285,6 +363,23 @@ def _cmd_traffic(args, out) -> int:
         if args.subscribers > 0
         else None
     )
+    journal = None
+    if args.journal is not None:
+        wrap = None
+        snapshot_every = 32
+        if args.crash_at is not None:
+            # Record ordinal 0 is the base snapshot, ordinal k is edit k
+            # (checkpoints disabled so the mapping holds): a torn fault on
+            # ordinal K+1 dies mid-write with exactly K edits durable.
+            fault = IoFault("torn", write_index=args.crash_at + 1)
+            wrap = lambda handle: FaultyFile(handle, [fault])
+            snapshot_every = 0
+        journal = DeltaJournal(
+            args.journal,
+            fsync=args.fsync,
+            snapshot_every=snapshot_every,
+            wrap=wrap,
+        )
     lane = run_traffic(
         catalog,
         events,
@@ -293,6 +388,8 @@ def _cmd_traffic(args, out) -> int:
         scheduler=args.scheduler,
         policy=policy,
         subscriber_specs=specs,
+        journal=journal,
+        cache_warm=args.cache_warm,
     )
     metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
     # Per-edit decision reuse: each applied edit's incremental accounting,
@@ -316,6 +413,7 @@ def _cmd_traffic(args, out) -> int:
         "shed_verified_as_refusals": verdict["shed"],
         "mismatches": len(verdict["mismatches"]),
         "per_edit_reuse": per_edit_reuse,
+        "journal": lane["journal"],
         "metrics": metrics.to_dict(),
     }
     sub_verdict = None
@@ -370,6 +468,30 @@ def _cmd_traffic(args, out) -> int:
             f"{m['reuse']['needed']} ({m['reuse']['rate']:.3f})",
             file=out,
         )
+        if summary["journal"] is not None:
+            j = summary["journal"]
+            flags = []
+            if j["crashed"]:
+                flags.append(
+                    f"crashed mid-write ({j['dropped_after_crash']} edits dropped"
+                    " after the crash)"
+                )
+            if j["lagging"]:
+                flags.append(f"lagging from version {j['lag_from_version']}")
+            print(
+                f"  journal: {j['records']} records ({j['delta_records']} "
+                f"deltas, {j['snapshot_records']} snapshots), {j['bytes']} "
+                f"bytes, {j['fsyncs']} fsyncs [{j['fsync']}]"
+                + (f"; {'; '.join(flags)}" if flags else ""),
+                file=out,
+            )
+        if args.cache_warm:
+            w = m["warming"]
+            print(
+                f"  cache warming: {w['prefetches']} prefetches, "
+                f"{w['warm_hits']} warm report hits",
+                file=out,
+            )
         if "subscriptions" in summary:
             s = summary["subscriptions"]
             print(
@@ -401,6 +523,57 @@ def _cmd_traffic(args, out) -> int:
     return 1 if failed else 0
 
 
+def _cmd_recover(args, out) -> int:
+    from repro.service import recover_service
+
+    result = recover_service(args.journal, jobs=args.jobs, repair=args.repair)
+    mismatches = result.verify() if args.verify else None
+    if args.json:
+        payload = result.to_dict()
+        payload["verify"] = (
+            None
+            if mismatches is None
+            else {"ok": not mismatches, "mismatches": mismatches}
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 1 if mismatches else 0
+    print(
+        f"recovered {args.journal} to version {result.version}: "
+        f"{len(result.views)} views ({', '.join(sorted(result.views))})",
+        file=out,
+    )
+    print(
+        f"  {result.records_read} records read, {result.deltas_folded} deltas "
+        f"folded over snapshot ({result.snapshots_seen} snapshots seen), "
+        f"{result.journal_bytes} journal bytes in "
+        f"{result.recovery_time_s * 1000:.2f}ms",
+        file=out,
+    )
+    if result.truncated_tail_bytes:
+        print(
+            f"  torn tail: {result.truncated_tail_bytes} byte(s) truncated, "
+            f"never folded ({result.tail_reason})"
+            + (" [repaired in place]" if result.repaired else ""),
+            file=out,
+        )
+    if mismatches is not None:
+        if mismatches:
+            print(
+                f"  VERIFY FAILED: {len(mismatches)} mismatch(es) against a "
+                "fresh serial analyzer:",
+                file=out,
+            )
+            for problem in mismatches:
+                print(f"    {problem}", file=out)
+            return 1
+        print(
+            "  verified: recovered core, equivalence classes and dominance "
+            "matrix are bit-identical to a fresh serial analyzer",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_simplify(catalog: Catalog, out) -> int:
     simplified = {name: simplify_view(view) for name, view in catalog.views.items()}
     print(serialize_catalog(Catalog(schema=catalog.schema, views=simplified)), file=out, end="")
@@ -420,6 +593,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     try:
         if args.command == "traffic":
             return _cmd_traffic(args, out)
+        if args.command == "recover":
+            return _cmd_recover(args, out)
         catalog = _load(args.catalogue)
         if args.command == "analyze":
             return _cmd_analyze(catalog, args.view, out)

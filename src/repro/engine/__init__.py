@@ -15,6 +15,7 @@ from repro.engine.delta import (
     TOPIC_CORE,
     TOPIC_DOMINANCE,
     TOPIC_EQUIVALENCE_CLASSES,
+    TOPIC_VIEWS,
     VIEW_REPORT_PREFIX,
     CatalogDelta,
     CatalogSnapshot,
@@ -36,6 +37,7 @@ __all__ = [
     "TOPIC_CORE",
     "TOPIC_DOMINANCE",
     "TOPIC_EQUIVALENCE_CLASSES",
+    "TOPIC_VIEWS",
     "VIEW_REPORT_PREFIX",
     "classes_from_matrix",
     "coalesce_deltas",

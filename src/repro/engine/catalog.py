@@ -522,6 +522,49 @@ class CatalogAnalyzer:
 
         return compute_delta(previous, self, version=version)
 
+    @classmethod
+    def from_decided_matrix(
+        cls,
+        views: ViewsInput,
+        matrix: Mapping[Pair, bool],
+        limits: SearchLimits = SearchLimits(),
+        jobs: int = 1,
+        executor: str = "thread",
+        chunksize: Optional[int] = None,
+    ) -> "CatalogAnalyzer":
+        """An analyzer whose decision store is pre-seeded from ``matrix``.
+
+        The snapshot-adoption path of crash recovery
+        (:func:`repro.service.journal.recover_service`): a journaled
+        :class:`~repro.engine.CatalogSnapshot` already carries the full
+        dominance matrix a previous analyzer decided under the *same*
+        limits, so the recovered analyzer adopts those verdicts instead of
+        re-deciding every pair — recovery costs folds and parses, not
+        homomorphism searches.  Adopted decisions carry no witnesses (the
+        same contract as the process backend, whose workers return verdicts
+        only).  Trust is explicitly *not* assumed: the recovery path
+        cross-checks the adopted state against the journal's folded deltas,
+        and :func:`repro.service.replay.verify_recovery` against a fresh
+        serial analyzer that recomputes everything.
+
+        Pairs naming views absent from ``views`` are rejected — a matrix
+        from the wrong catalog version must fail loudly, not seed stray
+        verdicts that broadcast wrongly later.
+        """
+
+        analyzer = cls(
+            views, limits=limits, jobs=jobs, executor=executor, chunksize=chunksize
+        )
+        for (a, b), holds in matrix.items():
+            if a not in analyzer._views or b not in analyzer._views:
+                raise CapacityError(
+                    f"adopted matrix names a pair ({a!r}, {b!r}) outside the "
+                    "catalog; the matrix and the views must come from the "
+                    "same version"
+                )
+            analyzer._decisions[(a, b)] = (bool(holds), (), None)
+        return analyzer
+
     # ---------------------------------------------------------- incremental
     def _derive(self, views: Dict[str, View]) -> "CatalogAnalyzer":
         derived = CatalogAnalyzer(

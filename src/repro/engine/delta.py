@@ -52,6 +52,7 @@ __all__ = [
     "TOPIC_CORE",
     "TOPIC_DOMINANCE",
     "TOPIC_EQUIVALENCE_CLASSES",
+    "TOPIC_VIEWS",
     "VIEW_REPORT_PREFIX",
     "classes_from_matrix",
     "coalesce_deltas",
@@ -73,6 +74,12 @@ TOPIC_EQUIVALENCE_CLASSES = "equivalence_classes"
 
 #: Subscription topic: dominance edges set, flipped or removed.
 TOPIC_DOMINANCE = "dominance"
+
+#: Subscription topic: any view added, replaced or dropped — the whole edit
+#: feed, without naming views up front the way ``view_report:<name>`` does.
+#: This is what an internal consumer tracking *every* catalog mutation (the
+#: service's delta-driven cache warmer, a replica apply loop) subscribes to.
+TOPIC_VIEWS = "views"
 
 #: Subscription topic prefix: ``view_report:<name>`` fires when the named
 #: view itself is added, replaced or dropped (a per-view report depends only
@@ -173,6 +180,30 @@ class CatalogSnapshot:
             "dominance": nested,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CatalogSnapshot":
+        """The inverse of :meth:`to_dict` — bit-identical round-trip.
+
+        The journal (:mod:`repro.service.journal`) persists snapshots as
+        JSON, so recovery needs the exact snapshot back: equal ``version``,
+        ``names``, ``nonredundant_core``, ``equivalence_classes`` and
+        ``dominance`` map, with the original tuple/dict shapes restored.
+        """
+
+        dominance: Dict[Pair, bool] = {}
+        for row, cols in data["dominance"].items():
+            for col, holds in cols.items():
+                dominance[(row, col)] = bool(holds)
+        return cls(
+            version=int(data["version"]),
+            names=tuple(data["names"]),
+            nonredundant_core=tuple(data["nonredundant_core"]),
+            equivalence_classes=tuple(
+                tuple(members) for members in data["equivalence_classes"]
+            ),
+            dominance=dominance,
+        )
+
 
 # ---------------------------------------------------------------- the delta
 @dataclass(frozen=True)
@@ -218,6 +249,8 @@ class CatalogDelta:
             touched.add(TOPIC_EQUIVALENCE_CLASSES)
         if self.edges_set or self.edges_removed:
             touched.add(TOPIC_DOMINANCE)
+        if self.views_added or self.views_dropped or self.views_replaced:
+            touched.add(TOPIC_VIEWS)
         for name in self.views_added + self.views_dropped + self.views_replaced:
             touched.add(VIEW_REPORT_PREFIX + name)
         return frozenset(touched)
@@ -247,6 +280,38 @@ class CatalogDelta:
             "decisions_reused": self.decisions_reused,
             "decisions_needed": self.decisions_needed,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CatalogDelta":
+        """The inverse of :meth:`to_dict` — bit-identical round-trip.
+
+        Pair keys come back from their ``"a->b"`` rendering (view names are
+        identifiers, so ``->`` can never occur inside one); folding the
+        reconstructed delta is indistinguishable from folding the original,
+        which is what makes a JSONL journal a faithful delta log.
+        """
+
+        def pair(text: str) -> Pair:
+            a, _, b = text.partition("->")
+            return (a, b)
+
+        return cls(
+            version=int(data["version"]),
+            views_added=tuple(data["views_added"]),
+            views_dropped=tuple(data["views_dropped"]),
+            views_replaced=tuple(data["views_replaced"]),
+            core_entered=tuple(data["core_entered"]),
+            core_left=tuple(data["core_left"]),
+            classes_formed=tuple(tuple(m) for m in data["classes_formed"]),
+            classes_dissolved=tuple(tuple(m) for m in data["classes_dissolved"]),
+            edges_set={
+                pair(key): bool(holds)
+                for key, holds in data["edges_set"].items()
+            },
+            edges_removed=tuple(pair(key) for key in data["edges_removed"]),
+            decisions_reused=int(data["decisions_reused"]),
+            decisions_needed=int(data["decisions_needed"]),
+        )
 
 
 def compute_delta(previous, current, version: int = 0) -> CatalogDelta:

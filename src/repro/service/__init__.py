@@ -25,14 +25,36 @@ that the ROADMAP's "heavy traffic" north star calls for:
   with bounded queues, snapshot resyncs for laggards and coalesced catch-up
   on reconnect; :func:`verify_subscriptions` folds every delta over the
   version-0 snapshot and demands bit-identity with fresh serial analyzers.
+* :class:`~repro.service.journal.DeltaJournal` /
+  :func:`~repro.service.journal.recover_service` — the durability layer: an
+  append-only CRC-framed delta journal written inline with every committed
+  edit (configurable fsync policy, periodic snapshot checkpoints, degraded
+  ``lagging`` mode under persistent I/O faults) and crash recovery that
+  folds the journal back into a bit-identical analyzer, truncating torn
+  tails and refusing interior corruption with precise diagnostics;
+  :func:`verify_recovery` is the kill-and-recover fault-injection harness.
 """
 
 from repro.service.deadline import OVERLOAD_POLICY, DeadlinePolicy
+from repro.service.journal import (
+    FSYNC_POLICIES,
+    DeltaJournal,
+    FaultyFile,
+    JournalCorruption,
+    JournalError,
+    JournalWriteError,
+    RecoveryResult,
+    SimulatedCrash,
+    flip_bit,
+    recover_service,
+    scan_journal,
+)
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.replay import (
     replay,
     request_from_event,
     run_traffic,
+    verify_recovery,
     verify_replay,
     verify_subscriptions,
 )
@@ -70,21 +92,33 @@ __all__ = [
     "SubscriptionEvent",
     "SubscriptionHub",
     "DeadlinePolicy",
+    "DeltaJournal",
     "EDIT_KINDS",
     "EdfScheduler",
+    "FSYNC_POLICIES",
+    "FaultyFile",
     "FifoScheduler",
+    "JournalCorruption",
+    "JournalError",
+    "JournalWriteError",
     "OVERLOAD_POLICY",
     "READ_KINDS",
+    "RecoveryResult",
     "SCHEDULERS",
     "ServiceError",
     "ServiceMetrics",
     "ServiceRequest",
     "ServiceResponse",
+    "SimulatedCrash",
+    "flip_bit",
     "make_scheduler",
     "percentile",
+    "recover_service",
     "replay",
     "request_from_event",
     "run_traffic",
+    "scan_journal",
+    "verify_recovery",
     "verify_replay",
     "verify_subscriptions",
 ]

@@ -16,7 +16,7 @@ no edits, empty tables) must snapshot cleanly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.perf.cache import CacheStats
 
@@ -101,9 +101,22 @@ class ServiceMetrics:
     deltas_filtered: int = 0
     deltas_superseded: int = 0
     resyncs: int = 0
+    resyncs_overflow: int = 0
+    resyncs_catchup: int = 0
+    resyncs_forced: int = 0
     push_p50_s: float = 0.0
     push_p95_s: float = 0.0
     push_total_s: float = 0.0
+    warm_prefetches: int = 0
+    warm_hits: int = 0
+    #: :meth:`DeltaJournal.stats` of the attached journal — records, bytes,
+    #: fsyncs, retries and the degraded-mode flags (``lagging``,
+    #: ``lag_from_version``, ``crashed``); ``None`` when no journal is
+    #: attached.  Recovery-side accounting (recovery time, truncated-tail
+    #: bytes, corrupted-record diagnostics) lives on
+    #: :class:`repro.service.journal.RecoveryResult`, since recovery runs
+    #: against a dead service's file, not a live service.
+    journal: Optional[Dict[str, object]] = None
     cache: Dict[str, CacheStats] = field(default_factory=dict)
 
     # ------------------------------------------------------- guarded ratios
@@ -171,10 +184,18 @@ class ServiceMetrics:
                 "deltas_filtered": self.deltas_filtered,
                 "deltas_superseded": self.deltas_superseded,
                 "resyncs": self.resyncs,
+                "resyncs_overflow": self.resyncs_overflow,
+                "resyncs_catchup": self.resyncs_catchup,
+                "resyncs_forced": self.resyncs_forced,
                 "push_p50_s": self.push_p50_s,
                 "push_p95_s": self.push_p95_s,
                 "push_total_s": self.push_total_s,
             },
+            "warming": {
+                "prefetches": self.warm_prefetches,
+                "warm_hits": self.warm_hits,
+            },
+            "journal": dict(self.journal) if self.journal is not None else None,
             "cache": {
                 name: {
                     "hits": stats.hits,

@@ -26,6 +26,9 @@ delta was ever silently dropped.
 from __future__ import annotations
 
 import asyncio
+import os
+import random
+import tempfile
 import time
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -41,6 +44,14 @@ from repro.engine.delta import (
     fold_matrix,
 )
 from repro.service.deadline import DeadlinePolicy
+from repro.service.journal import (
+    DeltaJournal,
+    FaultyFile,
+    JournalCorruption,
+    flip_bit,
+    recover_service,
+    scan_journal,
+)
 from repro.service.requests import ServiceRequest, ServiceResponse
 from repro.service.service import CatalogService
 from repro.service.subscriptions import EVENT_DELTA, EVENT_RESYNC
@@ -51,6 +62,7 @@ __all__ = [
     "replay",
     "request_from_event",
     "run_traffic",
+    "verify_recovery",
     "verify_replay",
     "verify_subscriptions",
 ]
@@ -100,6 +112,8 @@ def run_traffic(
     scheduler: str = "edf",
     policy: DeadlinePolicy = DeadlinePolicy(),
     subscriber_specs: Optional[Sequence] = None,
+    journal: Optional[DeltaJournal] = None,
+    cache_warm: bool = False,
 ) -> Dict[str, object]:
     """The one verified traffic lane the CLI and benchmark harness share.
 
@@ -108,14 +122,20 @@ def run_traffic(
     ``events``, snapshots metrics and verifies every exact answer
     against fresh serial analyzers built with the *same base limits* the
     service used.  Returns ``{"responses", "metrics", "history",
-    "elapsed_s", "verdict", "subscriptions"}``; must be called from outside
-    a running event loop (it owns its own ``asyncio.run``).
+    "elapsed_s", "verdict", "subscriptions", "journal"}``; must be called
+    from outside a running event loop (it owns its own ``asyncio.run``).
 
     ``subscriber_specs`` (e.g. from :func:`repro.workloads.subscriber_mix`)
     attaches delta subscribers before the replay; their drained event
     streams, the hub ledger and the retained delta log are then verified by
     :func:`verify_subscriptions` and returned under ``"subscriptions"``
     (``None`` when no specs were given).
+
+    ``journal`` attaches a :class:`~repro.service.journal.DeltaJournal`
+    (every committed edit journaled before publication; its final
+    :meth:`~repro.service.journal.DeltaJournal.stats` returned under
+    ``"journal"``) and ``cache_warm`` enables the service's delta-driven
+    report prefetcher.
     """
 
     specs = list(subscriber_specs) if subscriber_specs else []
@@ -129,6 +149,8 @@ def run_traffic(
             scheduler=scheduler,
             policy=policy,
             track_history=True,
+            journal=journal,
+            cache_warm=cache_warm,
         ) as service:
             subscriptions = [
                 service.subscribe(spec.topics, buffer=spec.buffer) for spec in specs
@@ -171,6 +193,7 @@ def run_traffic(
         "elapsed_s": elapsed,
         "verdict": verify_replay(history, events, responses, limits),
         "subscriptions": subscriptions,
+        "journal": journal.stats() if journal is not None else None,
     }
 
 
@@ -533,4 +556,342 @@ def verify_subscriptions(
         "resyncs": resyncs,
         "silent_drops": silent_drops,
         "mismatches": mismatches,
+    }
+
+
+# ----------------------------------------------------------- crash recovery
+class _Fault:
+    """A local write-fault spec (duck-compatible with ``workloads.IoFault``).
+
+    Kept service-side so this module injects faults without importing the
+    workloads layer; callers with richer schedules pass
+    :class:`repro.workloads.IoFault` objects instead — the journal's
+    :class:`FaultyFile` accepts either.
+    """
+
+    def __init__(self, kind, write_index, partial_fraction=0.5, persistent=False):
+        self.kind = kind
+        self.write_index = write_index
+        self.partial_fraction = partial_fraction
+        self.persistent = persistent
+
+
+def _journaled_run(catalog, events, limits, journal, jobs=1):
+    """Drive ``events`` through a journaled service; no answer verification."""
+
+    async def drive():
+        async with CatalogService(
+            catalog,
+            limits=limits,
+            jobs=jobs,
+            queue_limit=len(events) + 8,
+            track_history=True,
+            journal=journal,
+        ) as service:
+            await replay(service, events)
+            return service.catalog_history(), service.version, service.metrics()
+
+    return asyncio.run(drive())
+
+
+def _check_recovery(
+    label: str,
+    result,
+    expected_version: int,
+    history: Mapping[int, Mapping[str, View]],
+    mismatches: List[Dict[str, object]],
+) -> None:
+    """One recovered journal against the service's own history at that version."""
+
+    if result.version != expected_version:
+        mismatches.append(
+            {
+                "lane": label,
+                "error": (
+                    f"recovered version {result.version}, expected "
+                    f"{expected_version}"
+                ),
+            }
+        )
+        return
+    if expected_version in history and dict(result.views) != dict(
+        history[expected_version]
+    ):
+        mismatches.append(
+            {
+                "lane": label,
+                "version": expected_version,
+                "error": (
+                    "recovered catalog disagrees with the service history: "
+                    f"{sorted(result.views)} vs "
+                    f"{sorted(history[expected_version])}"
+                ),
+            }
+        )
+    for problem in result.verify(clear_memo_tables=False):
+        mismatches.append(
+            {"lane": label, "version": expected_version, **problem}
+        )
+
+
+def verify_recovery(
+    catalog,
+    events: Sequence,
+    limits: SearchLimits = SearchLimits(),
+    crash_points=None,
+    seed: int = 0,
+    workdir: Optional[str] = None,
+    snapshot_every: int = 4,
+) -> Dict[str, object]:
+    """Kill-and-recover the journaled service at randomized crash points.
+
+    The honesty check of the durability layer, mirroring
+    :func:`verify_replay`'s oracle discipline:
+
+    1. **Crash matrix** — one journaled traffic run records the full
+       journal and the per-version catalog history; then for each crash
+       point ``k`` (``crash_points``: ``None`` = every version, an ``int``
+       = that many seeded points, or an explicit iterable) two crashed
+       variants are recovered — a *clean cut* at the record boundary after
+       version ``k`` and a *torn* variant ending in a seeded partial prefix
+       of the next record.  Each recovery must land on exactly version
+       ``k``, truncate (never fold) the torn tail, match the service's own
+       catalog at ``k``, and be **bit-identical** to a fresh serial
+       analyzer (:meth:`RecoveryResult.verify`).  Torn variants are
+       recovered *twice* — recovery is read-only, so a crash during
+       recovery changes nothing and the second pass must agree with the
+       first.
+    2. **Mid-write faults** — three :class:`FaultyFile` lanes re-drive the
+       same traffic: ``torn`` (a seeded append dies mid-write; the service
+       keeps serving, the file ends as a dead process leaves it),
+       ``eio_transient`` (one :class:`OSError` absorbed by retry/backoff —
+       nothing lost) and ``enospc_persistent`` (the device never recovers;
+       the journal enters the lagging degraded mode, surfaced in metrics,
+       while the service keeps serving).  Each lane's journal must recover
+       to its last durable version, bit-identically.
+    3. **Corruption refusal** — a bit flipped in an interior record of the
+       full journal must raise :class:`JournalCorruption` with a precise
+       diagnostic, never fold to a wrong catalog.
+
+    Returns ``{"edits_applied", "crash_points_checked", "variants_checked",
+    "torn_tails_truncated", "double_recoveries_checked", "fault_lanes",
+    "corruption_refused", "corruption_diagnostic", "mismatches"}``.
+    """
+
+    from repro.perf.cache import clear_caches
+
+    rng = random.Random(seed)
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-recovery-")
+    mismatches: List[Dict[str, object]] = []
+
+    full_path = os.path.join(workdir, "full.jsonl")
+    journal = DeltaJournal(full_path, fsync="off", snapshot_every=snapshot_every)
+    history, final_version, _ = _journaled_run(catalog, events, limits, journal)
+    journal.close()
+
+    # One oracle-table clear for the whole pass (the service run's own
+    # cached results must not verify against themselves), then every
+    # RecoveryResult.verify below runs against the shared fresh oracle.
+    clear_caches()
+
+    scan = scan_journal(full_path)
+    with open(full_path, "rb") as handle:
+        data = handle.read()
+    by_offset = {record.offset: record for record in scan.records}
+
+    versions = sorted(history)
+    if crash_points is None:
+        points = versions
+    elif isinstance(crash_points, int):
+        want = max(1, crash_points)
+        chosen = {0, final_version}
+        interior = [v for v in versions if 0 < v < final_version]
+        rng.shuffle(interior)
+        for version in interior:
+            if len(chosen) >= want:
+                break
+            chosen.add(version)
+        points = sorted(chosen)
+    else:
+        points = sorted(set(int(k) for k in crash_points))
+        unknown = [k for k in points if k not in history]
+        if unknown:
+            raise ValueError(
+                f"crash points {unknown} name versions the run never reached "
+                f"(final version {final_version})"
+            )
+
+    variants_checked = 0
+    torn_truncated = 0
+    double_recoveries = 0
+    for point in points:
+        eligible = [r for r in scan.records if r.version <= point]
+        cut = eligible[-1].offset + eligible[-1].length
+        variants = [("clean", data[:cut])]
+        nxt = by_offset.get(cut)
+        if nxt is not None:
+            partial = max(
+                1,
+                min(nxt.length - 1, int(nxt.length * rng.uniform(0.05, 0.95))),
+            )
+            variants.append(("torn", data[: cut + partial]))
+        for shape, blob in variants:
+            vpath = os.path.join(workdir, f"crash_v{point}_{shape}.jsonl")
+            with open(vpath, "wb") as handle:
+                handle.write(blob)
+            result = recover_service(vpath, limits=limits)
+            variants_checked += 1
+            label = f"crash@{point}/{shape}"
+            if shape == "torn":
+                if result.truncated_tail_bytes > 0:
+                    torn_truncated += 1
+                else:
+                    mismatches.append(
+                        {"lane": label, "error": "torn tail went undetected"}
+                    )
+            elif result.truncated_tail_bytes:
+                mismatches.append(
+                    {
+                        "lane": label,
+                        "error": (
+                            "clean cut reported a torn tail of "
+                            f"{result.truncated_tail_bytes} byte(s)"
+                        ),
+                    }
+                )
+            _check_recovery(label, result, point, history, mismatches)
+            if shape == "torn":
+                # Recovery is read-only: a second recovery (a crash *during*
+                # the first changes nothing) must land identically.
+                again = recover_service(vpath, limits=limits)
+                double_recoveries += 1
+                if (
+                    again.version != result.version
+                    or again.state != result.state
+                    or again.truncated_tail_bytes != result.truncated_tail_bytes
+                ):
+                    mismatches.append(
+                        {
+                            "lane": label,
+                            "error": "second recovery disagrees with the first",
+                        }
+                    )
+
+    # Mid-write fault lanes: the journal's own file handle misbehaves while
+    # the service is live.  Record ordinal k is version k here
+    # (snapshot_every=0 — one delta record per edit after the base).
+    fault_lanes: Dict[str, Dict[str, object]] = {}
+    if final_version >= 1:
+        ordinal = rng.randint(1, final_version)
+        lanes = (
+            ("torn", _Fault("torn", ordinal, rng.uniform(0.1, 0.9)), ordinal - 1),
+            ("eio_transient", _Fault("eio", ordinal), final_version),
+            (
+                "enospc_persistent",
+                _Fault("enospc", ordinal, persistent=True),
+                ordinal - 1,
+            ),
+        )
+        for name, fault, expected_version in lanes:
+            path = os.path.join(workdir, f"fault_{name}.jsonl")
+            lane_journal = DeltaJournal(
+                path,
+                fsync="off",
+                snapshot_every=0,
+                retries=2,
+                backoff_s=0.0,
+                sleep_fn=lambda _s: None,
+                wrap=lambda handle, f=fault: FaultyFile(handle, [f]),
+            )
+            lane_history, lane_final, lane_metrics = _journaled_run(
+                catalog, events, limits, lane_journal
+            )
+            lane_journal.close()
+            stats = lane_journal.stats()
+            if lane_final != final_version:
+                mismatches.append(
+                    {
+                        "lane": name,
+                        "error": (
+                            "service applied a different edit count under "
+                            f"injected faults: {lane_final} vs {final_version}"
+                        ),
+                    }
+                )
+            if lane_metrics.served == 0:
+                mismatches.append(
+                    {"lane": name, "error": "service stopped serving under a journal fault"}
+                )
+            if name == "torn" and not stats["crashed"]:
+                mismatches.append(
+                    {"lane": name, "error": "torn fault never fired"}
+                )
+            if name == "eio_transient" and (
+                stats["retries"] == 0 or stats["lagging"]
+            ):
+                mismatches.append(
+                    {
+                        "lane": name,
+                        "error": (
+                            "transient EIO should be absorbed by retries "
+                            f"(retries={stats['retries']}, "
+                            f"lagging={stats['lagging']})"
+                        ),
+                    }
+                )
+            if name == "enospc_persistent" and not stats["lagging"]:
+                mismatches.append(
+                    {
+                        "lane": name,
+                        "error": "persistent ENOSPC must leave the journal lagging",
+                    }
+                )
+            result = recover_service(path, limits=limits)
+            if name == "torn" and result.truncated_tail_bytes == 0:
+                mismatches.append(
+                    {"lane": name, "error": "mid-write torn tail went undetected"}
+                )
+            _check_recovery(name, result, expected_version, lane_history, mismatches)
+            fault_lanes[name] = {
+                "expected_version": expected_version,
+                "recovered_version": result.version,
+                "truncated_tail_bytes": result.truncated_tail_bytes,
+                "journal": stats,
+            }
+
+    # Interior bit-flip: must refuse with a diagnostic, never fold wrong.
+    corruption_refused = False
+    corruption_diagnostic = ""
+    if len(scan.records) >= 2:
+        target = scan.records[rng.randrange(1, len(scan.records))]
+        cpath = os.path.join(workdir, "bitflip.jsonl")
+        with open(cpath, "wb") as handle:
+            handle.write(data)
+        flip_bit(cpath, target.offset + target.length // 2, bit=rng.randrange(8))
+        try:
+            recover_service(cpath, limits=limits)
+            mismatches.append(
+                {
+                    "lane": "bitflip",
+                    "error": (
+                        f"bit-flipped record #{target.index} recovered without "
+                        "a corruption diagnostic"
+                    ),
+                }
+            )
+        except JournalCorruption as error:
+            corruption_refused = True
+            corruption_diagnostic = str(error)
+
+    return {
+        "edits_applied": final_version,
+        "crash_points_checked": len(points),
+        "variants_checked": variants_checked,
+        "torn_tails_truncated": torn_truncated,
+        "double_recoveries_checked": double_recoveries,
+        "fault_lanes": fault_lanes,
+        "corruption_refused": corruption_refused,
+        "corruption_diagnostic": corruption_diagnostic,
+        "mismatches": mismatches,
+        "workdir": workdir,
     }

@@ -69,11 +69,17 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, Dict, Hashable, Optional, Set
 
 from repro.engine.catalog import CatalogAnalyzer, ViewsInput
-from repro.engine.delta import CatalogDelta, CatalogSnapshot
+from repro.engine.delta import TOPIC_VIEWS, CatalogDelta, CatalogSnapshot
 from repro.exceptions import ReproError
 from repro.perf.cache import cache_stats
 from repro.relalg.ast import Expression
 from repro.service.deadline import DeadlinePolicy, TIER_BASE, TIER_REFUSE
+from repro.service.journal import (
+    DeltaJournal,
+    SimulatedCrash,
+    catalog_text,
+    view_text,
+)
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.requests import (
     DEFAULT_PRIORITY,
@@ -89,6 +95,8 @@ from repro.service.scheduler import (
 )
 from repro.service.subscriptions import (
     DEFAULT_BUFFER,
+    EVENT_CLOSED,
+    EVENT_DELTA,
     Subscription,
     SubscriptionHub,
     evict_versions,
@@ -149,6 +157,18 @@ class CatalogService:
         the default, retains everything — what replay verification needs).
         A subscriber catching up from a version already evicted gets a
         snapshot resync instead of a delta catch-up.
+    journal:
+        An optional :class:`~repro.service.journal.DeltaJournal`.  The
+        base snapshot is written at :meth:`start`; every committed edit is
+        journaled inline *before* its delta is published, so the journal is
+        never behind any subscriber.  A failing journal degrades (lagging
+        mode, surfaced in :meth:`metrics`) instead of blocking the edit
+        stream; recovery is :func:`repro.service.journal.recover_service`.
+    cache_warm:
+        Run an internal ``"views"``-topic subscriber that prefetches the
+        view report of every added/replaced view right after the edit
+        commits, so the next ``view_report`` read hits warm memo tables
+        (``warm_prefetches``/``warm_hits`` in :meth:`metrics` prove it).
     clock:
         Monotonic time source (injectable for tests).
 
@@ -165,6 +185,8 @@ class CatalogService:
         policy: DeadlinePolicy = DeadlinePolicy(),
         track_history: bool = False,
         history_window: Optional[int] = None,
+        journal: Optional[DeltaJournal] = None,
+        cache_warm: bool = False,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
@@ -216,6 +238,14 @@ class CatalogService:
         self._reuse_needed = 0
         self._push_latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._push_total_s = 0.0
+        # Durability + cache warming (PR 6).
+        self._journal = journal
+        self._cache_warm = bool(cache_warm)
+        self._warm_sub: Optional[Subscription] = None
+        self._warm_task: Optional[asyncio.Task] = None
+        self._warmed: Dict[str, int] = {}
+        self._warm_prefetches = 0
+        self._warm_hits = 0
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "CatalogService":
@@ -230,6 +260,25 @@ class CatalogService:
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch(self._sched)
         )
+        if self._journal is not None:
+            # The base anchor every recovery folds from.  The snapshot
+            # materialises the dominance matrix, so it runs on the executor;
+            # the journal write itself is one small append.
+            loop = asyncio.get_running_loop()
+            snapshot = await loop.run_in_executor(
+                self._executor, lambda: self._analyzer.snapshot(self._version)
+            )
+            self._journal.begin(catalog_text(self._analyzer.views), snapshot)
+        if self._cache_warm:
+            self._warm_sub = self._hub.subscribe(
+                [TOPIC_VIEWS],
+                buffer=DEFAULT_BUFFER,
+                current_version=self._version,
+                snapshot_fn=self._snapshot,
+            )
+            self._warm_task = asyncio.get_running_loop().create_task(
+                self._warm_loop(self._warm_sub)
+            )
         self._started_at = self._clock()
         return self
 
@@ -248,12 +297,20 @@ class CatalogService:
         await self._dispatcher
         if self._serve_tasks:
             await asyncio.gather(*tuple(self._serve_tasks))
+        # Every subscriber gets a terminal closed event — iterating
+        # consumers terminate instead of awaiting a push that never comes.
+        # The warm loop is one of them: close the hub while the executor is
+        # still up (a prefetch may be in flight), then await its exit.
+        self._hub.close()
+        if self._warm_task is not None:
+            await self._warm_task
+            self._warm_task = None
+            self._warm_sub = None
         self._executor.shutdown(wait=True)
         self._dispatcher = None
         self._executor = None
-        # Every subscriber gets a terminal closed event — iterating
-        # consumers terminate instead of awaiting a push that never comes.
-        self._hub.close()
+        if self._journal is not None:
+            self._journal.close()
 
     async def __aenter__(self) -> "CatalogService":
         return await self.start()
@@ -309,7 +366,8 @@ class CatalogService:
         """Register a topic subscriber; deltas push after every edit commit.
 
         ``topics`` is an iterable over ``"core"``, ``"equivalence_classes"``,
-        ``"dominance"`` and ``"view_report:<name>"``; ``buffer`` bounds the
+        ``"dominance"``, ``"views"`` (any view added/replaced/dropped) and
+        ``"view_report:<name>"``; ``buffer`` bounds the
         per-subscriber queue (overflow supersedes pending deltas with one
         snapshot resync); ``from_version`` catches a reconnecting subscriber
         up — one coalesced delta while the retained log covers the gap, a
@@ -542,9 +600,15 @@ class CatalogService:
             deltas_filtered=self._hub.filtered,
             deltas_superseded=self._hub.superseded,
             resyncs=self._hub.resyncs,
+            resyncs_overflow=self._hub.resyncs_overflow,
+            resyncs_catchup=self._hub.resyncs_catchup,
+            resyncs_forced=self._hub.resyncs_forced,
             push_p50_s=percentile(self._push_latencies, 0.5),
             push_p95_s=percentile(self._push_latencies, 0.95),
             push_total_s=self._push_total_s,
+            warm_prefetches=self._warm_prefetches,
+            warm_hits=self._warm_hits,
+            journal=self._journal.stats() if self._journal is not None else None,
             cache=cache_stats(),
         )
 
@@ -697,24 +761,35 @@ class CatalogService:
                 queue_wait=waited,
             )
             return
+        # The changed set is computed *before* commit so the journal can
+        # record it ahead of publication — the journal is never behind a
+        # subscriber.  The edit just materialised the derived matrix and
+        # `previous` was materialised at the prior version (or by the first
+        # delta), so the diff costs set differences only.  A delta failure
+        # must not kill the dispatcher or silently skip a version:
+        # subscribers are force-resynced and the journal re-anchors on a
+        # snapshot record instead.
+        new_version = self._version + 1
+        push_started = self._clock()
+        delta: Optional[CatalogDelta] = None
+        delta_error: Optional[BaseException] = None
+        try:
+            delta = derived.diff(previous, version=new_version)
+        except Exception as error:  # noqa: BLE001 — the dispatcher must survive
+            delta_error = error
+        if self._journal is not None:
+            self._journal_edit(request, derived, new_version, delta)
         self._analyzer = derived
-        self._version += 1
+        self._version = new_version
         self._edits += 1
         self._reuse_reused += reused
         self._reuse_needed += needed
         if self._history is not None:
             self._history[self._version] = derived.views
             evict_versions(self._history, self._version, self._history_window)
-        # Push the changed set to subscribers.  The edit just materialised
-        # the derived matrix and `previous` was materialised at the prior
-        # version (or by the first delta), so the diff costs set differences
-        # only; push latency = diff + O(subscribers) enqueues, recorded for
-        # the metrics percentiles.  A delta failure must not kill the
-        # dispatcher or silently skip a version: subscribers are force-
-        # resynced onto a fresh snapshot instead.
-        push_started = self._clock()
         try:
-            delta = derived.diff(previous, version=self._version)
+            if delta is None:
+                raise delta_error  # type: ignore[misc]
             self._hub.publish(delta, self._snapshot)
         except Exception as error:  # noqa: BLE001 — the dispatcher must survive
             self._hub.force_resync(
@@ -738,6 +813,89 @@ class CatalogService:
             },
             queue_wait=waited,
         )
+
+    # ---------------------------------------------------------- durability
+    def _checkpoint_payload(self, analyzer: CatalogAnalyzer, version: int):
+        """The post-edit (catalog text, snapshot) pair a checkpoint records.
+
+        The matrix is already materialised by the edit, so the snapshot is
+        a table copy — safe on the event-loop thread.
+        """
+
+        return catalog_text(analyzer.views), analyzer.snapshot(version)
+
+    def _journal_edit(
+        self,
+        request: ServiceRequest,
+        derived: CatalogAnalyzer,
+        version: int,
+        delta: Optional[CatalogDelta],
+    ) -> None:
+        """Journal one committed edit; degraded modes never block the edit.
+
+        An injected :class:`SimulatedCrash` froze the journal mid-append —
+        the file now ends exactly as a dead process would leave it, which
+        is the fault harness's point — so the service absorbs it and keeps
+        serving with the journal marked crashed.  A delta that could not be
+        computed is covered by a snapshot record instead (same re-anchor
+        the hub's force_resync gives subscribers).
+        """
+
+        checkpoint_fn = lambda: self._checkpoint_payload(derived, version)  # noqa: E731
+        try:
+            if delta is None:
+                self._journal.checkpoint(checkpoint_fn)
+            else:
+                doc = (
+                    view_text(request.subject, request.view)
+                    if request.kind == "add_view"
+                    else None
+                )
+                self._journal.record_edit(
+                    version, request.kind, request.subject, doc, delta,
+                    checkpoint_fn,
+                )
+        except SimulatedCrash:
+            pass
+
+    # -------------------------------------------------------- cache warming
+    async def _warm_loop(self, subscription: Subscription) -> None:
+        """Prefetch view reports for every added/replaced view (delta-driven).
+
+        An internal ``"views"``-topic subscriber: after each committed edit
+        it computes the per-view report on the executor, so a client's next
+        ``view_report`` read finds the memo tables warm.  ``_warmed`` maps
+        view name to the catalog version its report was prefetched at;
+        :meth:`_serve` counts a warm hit when a ``view_report`` read lands
+        on exactly that version.
+        """
+
+        loop = asyncio.get_running_loop()
+        while True:
+            event = await subscription.get()
+            if event.type == EVENT_CLOSED:
+                return
+            if event.type != EVENT_DELTA or event.delta is None:
+                continue
+            delta = event.delta
+            for name in delta.views_dropped:
+                self._warmed.pop(name, None)
+            for name in delta.views_added + delta.views_replaced:
+                # Re-read the live analyzer per view: a later edit may have
+                # replaced or dropped the view while earlier prefetches ran.
+                analyzer = self._analyzer
+                version = self._version
+                if name not in analyzer.views:
+                    continue
+                try:
+                    await loop.run_in_executor(
+                        self._executor,
+                        lambda n=name, a=analyzer: a.analyzer(n).analyze(),
+                    )
+                except Exception:  # noqa: BLE001 — warming is best-effort
+                    continue
+                self._warm_prefetches += 1
+                self._warmed[name] = version
 
     # ------------------------------------------------------------ read path
     async def _serve(self, item: _WorkItem) -> None:
@@ -779,6 +937,11 @@ class CatalogService:
         # event loop; edits swap both together with no await in between).
         analyzer = self._analyzer
         version = self._version
+        if (
+            request.kind == "view_report"
+            and self._warmed.get(request.subject) == version
+        ):
+            self._warm_hits += 1
         loop = asyncio.get_running_loop()
         try:
             status, answer, reason = await loop.run_in_executor(

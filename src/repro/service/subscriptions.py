@@ -15,6 +15,7 @@ Topics
 * ``"core"`` — nonredundant-core membership changes;
 * ``"equivalence_classes"`` — classes forming/dissolving (splits, merges);
 * ``"dominance"`` — dominance edges set, flipped or removed;
+* ``"views"`` — any view added/replaced/dropped (the whole edit feed);
 * ``"view_report:<name>"`` — the named view itself added/replaced/dropped.
 
 A delta is delivered to a subscriber iff it touches one of the subscriber's
@@ -69,6 +70,7 @@ from repro.engine.delta import (
     TOPIC_CORE,
     TOPIC_DOMINANCE,
     TOPIC_EQUIVALENCE_CLASSES,
+    TOPIC_VIEWS,
     VIEW_REPORT_PREFIX,
     CatalogDelta,
     CatalogSnapshot,
@@ -101,7 +103,14 @@ EVENT_CLOSED = "closed"
 DEFAULT_BUFFER = 64
 
 #: The catalog-level topics (``view_report:<name>`` is the per-view family).
-CATALOG_TOPICS = (TOPIC_CORE, TOPIC_EQUIVALENCE_CLASSES, TOPIC_DOMINANCE)
+#: ``views`` fires on any view added/replaced/dropped — the whole edit feed,
+#: what an internal consumer (the cache warmer, a replica apply loop) wants.
+CATALOG_TOPICS = (
+    TOPIC_CORE,
+    TOPIC_EQUIVALENCE_CLASSES,
+    TOPIC_DOMINANCE,
+    TOPIC_VIEWS,
+)
 
 
 def evict_versions(log: Dict[int, object], current_version: int, window: Optional[int]) -> None:
@@ -209,7 +218,14 @@ class Subscription:
         self.delivered = 0
         self.filtered = 0
         self.superseded = 0
+        # Resyncs total plus one counter per cause: an overflow supersede
+        # (the buffer filled), a catch-up past the retained window (the
+        # requested versions were evicted), or a forced re-anchor (delta
+        # computation failed).  The causes always sum to the total.
         self.resyncs = 0
+        self.resyncs_overflow = 0
+        self.resyncs_catchup = 0
+        self.resyncs_forced = 0
         self.consumed = 0
         self.catchup_deltas = 0
         self.last_version: Optional[int] = None
@@ -323,6 +339,9 @@ class Subscription:
             "filtered": self.filtered,
             "superseded": self.superseded,
             "resyncs": self.resyncs,
+            "resyncs_overflow": self.resyncs_overflow,
+            "resyncs_catchup": self.resyncs_catchup,
+            "resyncs_forced": self.resyncs_forced,
             "consumed": self.consumed,
             "pending": self._pending_deltas,
             "catchup_deltas": self.catchup_deltas,
@@ -352,6 +371,9 @@ class SubscriptionHub:
         self.delivered = 0
         self.filtered = 0
         self.resyncs = 0
+        self.resyncs_overflow = 0
+        self.resyncs_catchup = 0
+        self.resyncs_forced = 0
         self.superseded = 0
 
     # ------------------------------------------------------------ properties
@@ -424,7 +446,9 @@ class SubscriptionHub:
                     )
                 )
                 sub.resyncs += 1
+                sub.resyncs_catchup += 1
                 self.resyncs += 1
+                self.resyncs_catchup += 1
             else:
                 deltas = [
                     self._log[v]
@@ -503,7 +527,9 @@ class SubscriptionHub:
                     )
                 )
                 sub.resyncs += 1
+                sub.resyncs_overflow += 1
                 self.resyncs += 1
+                self.resyncs_overflow += 1
             else:
                 sub._enqueue(
                     SubscriptionEvent(
@@ -537,7 +563,9 @@ class SubscriptionHub:
                 )
             )
             sub.resyncs += 1
+            sub.resyncs_forced += 1
             self.resyncs += 1
+            self.resyncs_forced += 1
 
     # --------------------------------------------------------------- closing
     def _close_subscription(self, sub: Subscription, reason: str) -> None:
@@ -558,7 +586,13 @@ class SubscriptionHub:
         self._subs.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Hub-level counters: published/delivered/filtered/resyncs/superseded."""
+        """Hub-level counters: published/delivered/filtered/resyncs/superseded.
+
+        Resyncs are reported per cause — ``resyncs_overflow`` (a full
+        buffer superseded pending deltas), ``resyncs_catchup`` (a reconnect
+        asked for versions past the retained window) and ``resyncs_forced``
+        (delta computation failed) — and the causes sum to ``resyncs``.
+        """
 
         return {
             "subscribers": self.subscriber_count,
@@ -566,5 +600,8 @@ class SubscriptionHub:
             "delivered": self.delivered,
             "filtered": self.filtered,
             "resyncs": self.resyncs,
+            "resyncs_overflow": self.resyncs_overflow,
+            "resyncs_catchup": self.resyncs_catchup,
+            "resyncs_forced": self.resyncs_forced,
             "superseded": self.superseded,
         }

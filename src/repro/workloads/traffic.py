@@ -58,8 +58,12 @@ from repro.views.view import View
 from repro.workloads.synthetic import random_expression, random_view
 
 __all__ = [
+    "FAULT_KINDS",
+    "IoFault",
     "SubscriberSpec",
     "TrafficEvent",
+    "crash_schedule",
+    "fault_schedule",
     "overload_mix",
     "subscriber_mix",
     "traffic_mix",
@@ -374,3 +378,116 @@ def overload_mix(
                 )
             )
     return events
+
+
+# ------------------------------------------------------------ fault injection
+#: The injectable fault kinds of a crash/IO-fault schedule.  ``torn`` and
+#: the errno kinds fire *during* a write (consumed by
+#: :class:`repro.service.journal.FaultyFile`); ``bitflip`` is at-rest
+#: damage applied to an already-written record (consumed by the recovery
+#: harness via :func:`repro.service.journal.flip_bit`).
+FAULT_KINDS = ("torn", "bitflip", "eio", "enospc")
+
+
+@dataclass(frozen=True)
+class IoFault:
+    """One injected journal fault — plain data, no service dependency.
+
+    ``write_index`` addresses the record append the fault fires on (the
+    journal performs exactly one write per record, so ordinal k is the
+    (k+1)-th record).  For ``torn``, ``partial_fraction`` of the record's
+    bytes reach the file before the simulated process death; for ``eio`` /
+    ``enospc``, ``persistent`` decides whether the error clears (one
+    retryable failure) or never does (degraded journal_lagging mode).  For
+    ``bitflip``, ``write_index`` names the record to damage at rest and
+    ``partial_fraction`` locates the flipped byte within it.
+    """
+
+    kind: str
+    write_index: int
+    partial_fraction: float = 0.5
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise WorkloadError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.write_index < 0:
+            raise WorkloadError(
+                f"write_index must be >= 0, got {self.write_index}"
+            )
+        if not 0.0 < self.partial_fraction < 1.0:
+            raise WorkloadError(
+                f"partial_fraction must be in (0, 1), got {self.partial_fraction}"
+            )
+
+
+def crash_schedule(edits: int, crashes: int = 4, seed: int = 0) -> List[int]:
+    """Seeded distinct crash points over an ``edits``-long edit stream.
+
+    Each point ``k`` means "the process dies after edit ``k`` committed"
+    (``k = 0`` is a crash before any edit) — the recovery harness must land
+    on exactly version ``k``.  The schedule always includes the stream's
+    endpoints (the empty-journal-tail and the fully-written cases) when
+    ``crashes`` allows, plus seeded interior points.
+    """
+
+    if edits < 0:
+        raise WorkloadError(f"edits must be >= 0, got {edits}")
+    if crashes < 1:
+        raise WorkloadError(f"crashes must be >= 1, got {crashes}")
+    rng = random.Random(seed)
+    points = {0, edits}
+    interior = list(range(1, edits))
+    rng.shuffle(interior)
+    for point in interior:
+        if len(points) >= crashes:
+            break
+        points.add(point)
+    return sorted(points)[:crashes] if crashes < len(points) else sorted(points)
+
+
+def fault_schedule(
+    records: int,
+    faults: int = 3,
+    seed: int = 0,
+    kinds: tuple = ("torn", "eio", "enospc"),
+    persistent_fraction: float = 0.25,
+) -> List[IoFault]:
+    """A seeded :class:`IoFault` schedule over a ``records``-long journal.
+
+    Draws ``faults`` distinct record ordinals in ``[1, records]`` (ordinal
+    0 — the base snapshot — is left intact so recovery always has an
+    anchor) with seeded kinds from ``kinds``, seeded torn/bit-flip
+    positions, and a ``persistent_fraction`` chance that an errno fault
+    never clears.
+    """
+
+    if records < 1:
+        raise WorkloadError(f"records must be >= 1, got {records}")
+    if faults < 0:
+        raise WorkloadError(f"faults must be >= 0, got {faults}")
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise WorkloadError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+    rng = random.Random(seed)
+    ordinals = list(range(1, records + 1))
+    rng.shuffle(ordinals)
+    schedule = []
+    for ordinal in sorted(ordinals[:faults]):
+        kind = rng.choice(list(kinds))
+        schedule.append(
+            IoFault(
+                kind=kind,
+                write_index=ordinal,
+                partial_fraction=rng.uniform(0.1, 0.9),
+                persistent=(
+                    kind in ("eio", "enospc")
+                    and rng.random() < persistent_fraction
+                ),
+            )
+        )
+    return schedule

@@ -308,6 +308,52 @@ class TestHub:
         event = late.get_nowait()
         assert event.type == EVENT_RESYNC and event.version == 5
         assert "retention window" in event.reason
+        # The catch-up resync is attributed to its cause, not to overflow.
+        assert late.resyncs_catchup == 1 and late.resyncs_overflow == 0
+        stats = hub.stats()
+        assert stats["resyncs_catchup"] == 1
+        assert stats["resyncs_overflow"] == 0 and stats["resyncs_forced"] == 0
+
+    def test_resync_causes_partition_the_total(self):
+        """One counter per cause — overflow / catch-up / forced — and the
+        causes always sum to ``resyncs``, on the hub and per subscription."""
+
+        hub = SubscriptionHub(window=2)
+        for version in (1, 2, 3, 4, 5):
+            hub.publish(self._delta(version), lambda: self._snapshot(5))
+        late = hub.subscribe(
+            ["core"],
+            from_version=1,
+            current_version=5,
+            snapshot_fn=lambda: self._snapshot(5),
+        )
+        slow = hub.subscribe(["core"], buffer=1)
+        for version in (6, 7):
+            hub.publish(self._delta(version), lambda: self._snapshot(7))
+        hub.force_resync(lambda: self._snapshot(7), reason="delta failed")
+        stats = hub.stats()
+        assert stats["resyncs_catchup"] == 1      # late joined past the window
+        assert stats["resyncs_overflow"] == 1     # slow overflowed at buffer=1
+        assert stats["resyncs_forced"] == 2       # both subscribers re-anchored
+        assert stats["resyncs"] == (
+            stats["resyncs_overflow"]
+            + stats["resyncs_catchup"]
+            + stats["resyncs_forced"]
+        )
+        for sub in (late, slow):
+            sub_stats = sub.stats()
+            assert sub_stats["resyncs"] == (
+                sub_stats["resyncs_overflow"]
+                + sub_stats["resyncs_catchup"]
+                + sub_stats["resyncs_forced"]
+            )
+            # The ledger still balances with the split in place.
+            assert (
+                sub_stats["delivered"]
+                == sub_stats["consumed"]
+                + sub_stats["pending"]
+                + sub_stats["superseded"]
+            )
 
     def test_ledger_balances_with_events_still_queued(self):
         # The invariant must hold *before* any drain, and catch-up/resync
