@@ -461,6 +461,18 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
     the injected polls divided by the total delta push cost for the same
     edit stream.
 
+    The PR-7 **admission lanes** replay the *same* 600-event seed-43 burst
+    mix under EDF with the conformal admission gate on — identical question
+    set, catalog, policy and scheduler, so the deadline-miss delta against
+    the plain EDF overload lane is attributable to the gate alone (doomed
+    requests are refused at submission instead of expiring in the queue).
+    A second lane adds an explicit unmeetable cohort
+    (``unmeetable_fraction=0.15``) whose ground-truth tags score the gate's
+    refusal precision and recall; stamped prediction intervals on completed
+    answers yield the empirical coverage.  Unmeetable refusals are verified
+    verdict-free by the same replay harness that checks sheds, so a
+    verdict-carrying refusal fails ``all_identical``.
+
     The PR-6 **journal / recovery lanes** replay the base mix once per
     journal fsync policy (``off`` / ``batched`` / ``per_record``) from cold
     caches — the durability cost of journaling every committed edit inline
@@ -558,6 +570,67 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         entry = lane_entry(f"service_overload_{scheduler}", lane, {"overload": True})
         overload_rates[scheduler] = entry["deadline_miss_rate"]
         lanes.append(entry)
+
+    # Admission lanes (PR 7): same mix, same EDF scheduler, conformal gate
+    # on — the miss-rate delta is the gate's doing; then the tagged-cohort
+    # mix for precision/recall/coverage scoring.
+    clear_caches()
+    adm_lane = run_traffic(
+        catalog,
+        overload_events,
+        jobs=jobs,
+        scheduler="edf",
+        policy=OVERLOAD_POLICY,
+        admission="conformal",
+    )
+    adm_verdict = adm_lane["verdict"]["admission"]
+    all_identical = all_identical and not adm_lane["verdict"]["mismatches"]
+    adm_entry = lane_entry(
+        "service_overload_edf_admission",
+        adm_lane,
+        {"overload": True, "admission_verdict": adm_verdict},
+    )
+    lanes.append(adm_entry)
+
+    cohort_events = overload_mix(
+        schema, catalog, requests=600, seed=43, unmeetable_fraction=0.15
+    )
+    clear_caches()
+    cohort_lane = run_traffic(
+        catalog,
+        cohort_events,
+        jobs=jobs,
+        scheduler="edf",
+        policy=OVERLOAD_POLICY,
+        admission="conformal",
+    )
+    cohort_verdict = cohort_lane["verdict"]["admission"]
+    all_identical = all_identical and not cohort_lane["verdict"]["mismatches"]
+    lanes.append(
+        lane_entry(
+            "service_overload_admission_cohorts",
+            cohort_lane,
+            {"overload": True, "admission_verdict": cohort_verdict},
+        )
+    )
+
+    admission = {
+        "coverage": 0.9,
+        "miss_rate_edf": overload_rates["edf"],
+        "miss_rate_admission": adm_entry["deadline_miss_rate"],
+        "miss_delta": overload_rates["edf"] - adm_entry["deadline_miss_rate"],
+        "admission_miss_below_edf": (
+            adm_entry["deadline_miss_rate"] < overload_rates["edf"]
+        ),
+        "refused_unmeetable": adm_verdict["refused_unmeetable"],
+        "precision": adm_verdict["precision"],
+        "cohort_refused_unmeetable": cohort_verdict["refused_unmeetable"],
+        "cohort_precision": cohort_verdict["precision"],
+        "cohort_recall": cohort_verdict["recall"],
+        "empirical_coverage": cohort_verdict["coverage"],
+        "empirical_coverage_lo": cohort_verdict["coverage_lo"],
+        "interval_samples": cohort_verdict["interval_samples"],
+    }
 
     # Subscription lanes (PR 5): the same edit-heavy seeded mix replayed
     # three ways from cold caches —
@@ -727,6 +800,7 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         "all_identical": all_identical,
         "overload_miss_rates": overload_rates,
         "edf_miss_below_fifo": overload_rates["edf"] < overload_rates["fifo"],
+        "admission": admission,
         "subscription": subscription,
         "recovery": recovery,
     }
@@ -779,6 +853,21 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 f"[bench]   overload: fifo miss-rate {rates['fifo']:.3f} vs "
                 f"edf {rates['edf']:.3f} "
                 f"(edf below: {summary['edf_miss_below_fifo']})"
+            )
+        if "admission" in summary:
+            adm = summary["admission"]
+            fmt = lambda v: "n/a" if v is None else f"{v:.3f}"
+            print(
+                f"[bench]   admission: miss-rate edf {adm['miss_rate_edf']:.3f} "
+                f"vs conformal {adm['miss_rate_admission']:.3f} "
+                f"(below: {adm['admission_miss_below_edf']}); refused "
+                f"{adm['refused_unmeetable']} @ precision "
+                f"{fmt(adm['precision'])}; cohort precision "
+                f"{fmt(adm['cohort_precision'])}, recall "
+                f"{fmt(adm['cohort_recall'])}, coverage "
+                f"{fmt(adm['empirical_coverage'])} two-sided / "
+                f"{fmt(adm['empirical_coverage_lo'])} lower-bound over "
+                f"{adm['interval_samples']} intervals"
             )
         if "subscription" in summary:
             sub = summary["subscription"]
@@ -838,6 +927,19 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
             if "overload_miss_rates" in suites[name]:
                 entry["overload_miss_rates"] = suites[name]["overload_miss_rates"]
                 entry["edf_miss_below_fifo"] = suites[name]["edf_miss_below_fifo"]
+            if "admission" in suites[name]:
+                adm = suites[name]["admission"]
+                entry["admission"] = {
+                    "miss_rate_edf": round(adm["miss_rate_edf"], 4),
+                    "miss_rate_admission": round(adm["miss_rate_admission"], 4),
+                    "miss_delta": round(adm["miss_delta"], 4),
+                    "admission_miss_below_edf": adm["admission_miss_below_edf"],
+                    "precision": adm["precision"],
+                    "cohort_precision": adm["cohort_precision"],
+                    "cohort_recall": adm["cohort_recall"],
+                    "empirical_coverage": adm["empirical_coverage"],
+                    "empirical_coverage_lo": adm["empirical_coverage_lo"],
+                }
             if "subscription" in suites[name]:
                 sub = suites[name]["subscription"]
                 entry["subscription"] = {
@@ -868,7 +970,7 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 }
         summary_block[name] = entry
     report = {
-        "schema_version": 5,
+        "schema_version": 6,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpus": os.cpu_count(),

@@ -12,6 +12,8 @@ exposes the paper's decision procedures to shell users::
         --deadline-ms 500 --jobs 4                             # simulated serving
     python -m repro.cli traffic --overload --scheduler edf --jobs 2
                                         # mixed-deadline bursts, EDF vs FIFO
+    python -m repro.cli traffic --overload --scheduler edf \
+        --admission conformal --jobs 2  # refuse unmeetable deadlines upfront
     python -m repro.cli traffic --subscribers 4 --edit-rate 0.2 --jobs 2
                                         # streaming: push deltas per edit
     python -m repro.cli traffic --journal /tmp/j.jsonl --crash-at 12
@@ -21,7 +23,8 @@ exposes the paper's decision procedures to shell users::
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no",
-``traffic``/``recover`` verification mismatches), and 2 on usage or input
+``traffic``/``recover`` verification mismatches, a conformal admission gate
+whose refusal precision falls below 0.9), and 2 on usage or input
 errors — including a corrupted journal, which ``recover`` refuses with the
 record-level diagnostic rather than folding a wrong catalog — so the
 commands compose in shell scripts.  ``catalog-analyze --json``,
@@ -149,6 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="edf",
         help="admission order: earliest-deadline-first with expired-work "
         "shedding (edf, default) or static priority/submission order (fifo)",
+    )
+    traffic.add_argument(
+        "--admission",
+        choices=("off", "conformal"),
+        default="off",
+        help="admission control: off (default; bit-identical to earlier "
+        "releases) or conformal — an online per-request-class service-time "
+        "model refuses deadlines below the calibrated lower bound before "
+        "they queue (refused_unmeetable, never a verdict) and stamps "
+        "calibrated confidence on partial answers",
+    )
+    traffic.add_argument(
+        "--coverage",
+        type=float,
+        default=0.9,
+        help="conformal coverage level in (0, 1) for --admission conformal "
+        "(default 0.9: refusing wrongly at most ~5%% of the time)",
     )
     traffic.add_argument(
         "--overload",
@@ -329,6 +349,12 @@ def _cmd_traffic(args, out) -> int:
     if args.crash_at is not None and args.crash_at < 0:
         print(f"error: --crash-at must be >= 0, got {args.crash_at}", file=out)
         return 2
+    if not 0.0 < args.coverage < 1.0:
+        print(
+            f"error: --coverage must lie in (0, 1), got {args.coverage}",
+            file=out,
+        )
+        return 2
 
     schema = random_schema(
         SchemaSpec(relations=4, arity=2, universe_size=5), seed=args.seed
@@ -390,6 +416,8 @@ def _cmd_traffic(args, out) -> int:
         subscriber_specs=specs,
         journal=journal,
         cache_warm=args.cache_warm,
+        admission=args.admission,
+        coverage=args.coverage,
     )
     metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
     # Per-edit decision reuse: each applied edit's incremental accounting,
@@ -403,9 +431,20 @@ def _cmd_traffic(args, out) -> int:
         for response in lane["responses"]
         if response.kind in EDIT_KINDS and response.ok
     ]
+    admission_verdict = verdict["admission"]
     summary = {
         "events": len(events),
         "scheduler": args.scheduler,
+        "admission": {
+            "mode": args.admission,
+            "coverage": args.coverage,
+            "refused_unmeetable": admission_verdict["refused_unmeetable"],
+            "precision": admission_verdict["precision"],
+            "recall": admission_verdict["recall"],
+            "empirical_coverage": admission_verdict["coverage"],
+            "empirical_coverage_lo": admission_verdict["coverage_lo"],
+            "interval_samples": admission_verdict["interval_samples"],
+        },
         "overload": bool(args.overload),
         "elapsed_s": round(elapsed, 4),
         "throughput_rps": round(metrics.served / elapsed, 2) if elapsed > 0 else 0.0,
@@ -468,6 +507,31 @@ def _cmd_traffic(args, out) -> int:
             f"{m['reuse']['needed']} ({m['reuse']['rate']:.3f})",
             file=out,
         )
+        if args.admission == "conformal":
+            a = summary["admission"]
+            precision = (
+                "n/a" if a["precision"] is None else f"{a['precision']:.3f}"
+            )
+            recall = "n/a" if a["recall"] is None else f"{a['recall']:.3f}"
+            emp = (
+                "n/a"
+                if a["empirical_coverage"] is None
+                else f"{a['empirical_coverage']:.3f}"
+            )
+            emp_lo = (
+                "n/a"
+                if a["empirical_coverage_lo"] is None
+                else f"{a['empirical_coverage_lo']:.3f}"
+            )
+            print(
+                f"  admission (conformal @ {a['coverage']:.2f}): refused "
+                f"{a['refused_unmeetable']} unmeetable, precision {precision}, "
+                f"recall {recall}; interval coverage {emp} two-sided / "
+                f"{emp_lo} lower-bound over {a['interval_samples']} stamped "
+                f"answers, confidence on "
+                f"{m['admission']['confidence_attached']} partials",
+                file=out,
+            )
         if summary["journal"] is not None:
             j = summary["journal"]
             flags = []
@@ -520,6 +584,12 @@ def _cmd_traffic(args, out) -> int:
         failed = failed or bool(sub_verdict["mismatches"]) or bool(
             sub_verdict["silent_drops"]
         )
+    if args.admission == "conformal":
+        precision = admission_verdict["precision"]
+        # A gate that fires must be right at least 90% of the time — the
+        # calibration contract the overload smoke lane holds CI to.  A gate
+        # that never fired (precision None) is not a failure.
+        failed = failed or (precision is not None and precision < 0.9)
     return 1 if failed else 0
 
 

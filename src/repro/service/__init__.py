@@ -25,6 +25,13 @@ that the ROADMAP's "heavy traffic" north star calls for:
   with bounded queues, snapshot resyncs for laggards and coalesced catch-up
   on reconnect; :func:`verify_subscriptions` folds every delta over the
   version-0 snapshot and demands bit-identity with fresh serial analyzers.
+* :class:`~repro.service.admission.AdmissionController` — the conformal
+  admission gate: an online per-request-class service-time model wrapped in
+  a split-conformal calibrator; in ``admission="conformal"`` mode the
+  service refuses deadlines below the calibrated lower bound *before* they
+  queue (``unmeetable=True`` refusals carrying the predicted interval,
+  never a verdict) and stamps calibrated ``confidence`` on partial/unknown
+  answers.
 * :class:`~repro.service.journal.DeltaJournal` /
   :func:`~repro.service.journal.recover_service` — the durability layer: an
   append-only CRC-framed delta journal written inline with every committed
@@ -35,6 +42,14 @@ that the ROADMAP's "heavy traffic" north star calls for:
   :func:`verify_recovery` is the kill-and-recover fault-injection harness.
 """
 
+from repro.service.admission import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionDecision,
+    ConformalInterval,
+    conformal_interval,
+    conformal_p_meet,
+)
 from repro.service.deadline import OVERLOAD_POLICY, DeadlinePolicy
 from repro.service.journal import (
     FSYNC_POLICIES,
@@ -70,6 +85,7 @@ from repro.service.scheduler import (
     AdmissionScheduler,
     EdfScheduler,
     FifoScheduler,
+    OrderedPool,
     make_scheduler,
 )
 from repro.service.service import CatalogService
@@ -83,8 +99,14 @@ from repro.service.subscriptions import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
+    "AdmissionController",
+    "AdmissionDecision",
     "AdmissionScheduler",
     "CatalogService",
+    "ConformalInterval",
+    "conformal_interval",
+    "conformal_p_meet",
     "EVENT_CLOSED",
     "EVENT_DELTA",
     "EVENT_RESYNC",
@@ -102,6 +124,7 @@ __all__ = [
     "JournalError",
     "JournalWriteError",
     "OVERLOAD_POLICY",
+    "OrderedPool",
     "READ_KINDS",
     "RecoveryResult",
     "SCHEDULERS",

@@ -102,6 +102,22 @@ class DeadlinePolicy:
             return TIER_BASE, base
         return TIER_REDUCED, reduced
 
+    def tier_for(self, deadline_s: Optional[float]) -> str:
+        """Classify a **full** deadline into the tier its budget would buy.
+
+        The pure classification half of :meth:`limits_for`, applied to a
+        request's submitted deadline rather than the remaining one —
+        what the admission layer keys its request classes on (the tier
+        decides the search budgets, and the budgets decide the service
+        time).  ``None`` (unbounded) classifies as the base tier.
+        """
+
+        if deadline_s is None or deadline_s >= self.full_deadline_s:
+            return TIER_BASE
+        if deadline_s < self.floor_s:
+            return TIER_REFUSE
+        return TIER_REDUCED
+
 
 #: The policy of the overload lanes (CLI ``traffic --overload`` and the
 #: benchmark's ``service_overload_*`` lanes — one definition, so the numbers

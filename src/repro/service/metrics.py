@@ -109,6 +109,18 @@ class ServiceMetrics:
     push_total_s: float = 0.0
     warm_prefetches: int = 0
     warm_hits: int = 0
+    #: Conformal admission gate (:mod:`repro.service.admission`): the active
+    #: mode (``"off"``/``"conformal"``), the configured coverage level, how
+    #: many requests the gate refused as unmeetable at submission, how many
+    #: partial answers carried a calibrated ``confidence``, and the
+    #: controller's calibration state (``classes``/``calibrated``/
+    #: ``samples``/``censored``) — the controller observes in both modes, so
+    #: calibration progress is inspectable even while the gate is off.
+    admission_mode: str = "off"
+    admission_coverage: float = 0.9
+    admission_refused: int = 0
+    confidence_attached: int = 0
+    admission_calibration: Dict[str, int] = field(default_factory=dict)
     #: :meth:`DeltaJournal.stats` of the attached journal — records, bytes,
     #: fsyncs, retries and the degraded-mode flags (``lagging``,
     #: ``lag_from_version``, ``crashed``); ``None`` when no journal is
@@ -194,6 +206,13 @@ class ServiceMetrics:
             "warming": {
                 "prefetches": self.warm_prefetches,
                 "warm_hits": self.warm_hits,
+            },
+            "admission": {
+                "mode": self.admission_mode,
+                "coverage": self.admission_coverage,
+                "refused_unmeetable": self.admission_refused,
+                "confidence_attached": self.confidence_attached,
+                "calibration": dict(self.admission_calibration),
             },
             "journal": dict(self.journal) if self.journal is not None else None,
             "cache": {

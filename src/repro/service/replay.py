@@ -26,11 +26,12 @@ delta was ever silently dropped.
 from __future__ import annotations
 
 import asyncio
+import math
 import os
 import random
 import tempfile
 import time
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.catalog import CatalogAnalyzer
 from repro.engine.delta import (
@@ -114,6 +115,8 @@ def run_traffic(
     subscriber_specs: Optional[Sequence] = None,
     journal: Optional[DeltaJournal] = None,
     cache_warm: bool = False,
+    admission: str = "off",
+    coverage: float = 0.9,
 ) -> Dict[str, object]:
     """The one verified traffic lane the CLI and benchmark harness share.
 
@@ -136,6 +139,12 @@ def run_traffic(
     :meth:`~repro.service.journal.DeltaJournal.stats` returned under
     ``"journal"``) and ``cache_warm`` enables the service's delta-driven
     report prefetcher.
+
+    ``admission``/``coverage`` select the service's conformal admission
+    gate (:mod:`repro.service.admission`); ``"off"`` (the default) keeps
+    the pre-admission behaviour bit for bit, and the verifier's
+    admission-precision/coverage scoring simply reports ``None`` when the
+    gate never fires.
     """
 
     specs = list(subscriber_specs) if subscriber_specs else []
@@ -151,6 +160,8 @@ def run_traffic(
             track_history=True,
             journal=journal,
             cache_warm=cache_warm,
+            admission=admission,
+            coverage=coverage,
         ) as service:
             subscriptions = [
                 service.subscribe(spec.topics, buffer=spec.buffer) for spec in specs
@@ -231,15 +242,37 @@ def verify_replay(
 ) -> Dict[str, object]:
     """Check every response against a fresh serial analyzer at its version.
 
-    Returns ``{"checked": n, "skipped": n, "shed": n, "mismatches": [...]}``
-    where ``checked`` counts exact answers recomputed and compared,
-    ``skipped`` the edit/partial/refused responses (edits have no oracle;
-    non-exact responses are only checked for carrying *no* verdict) and
-    ``shed`` the scheduler's pre-dispatch refusals among them.  A shed
-    response must be a verdict-free refusal — a shed that carries any
+    Returns ``{"checked": n, "skipped": n, "shed": n, "admission": {...},
+    "mismatches": [...]}`` where ``checked`` counts exact answers recomputed
+    and compared, ``skipped`` the edit/partial/refused responses (edits have
+    no oracle; non-exact responses are only checked for carrying *no*
+    verdict) and ``shed`` the scheduler's pre-dispatch refusals among them.
+    A shed response must be a verdict-free refusal — a shed that carries any
     answer, or claims any status other than ``"refused"``, is a mismatch.
     Fresh analyzers are cached per version — several responses typically
     share one.
+
+    The ``admission`` block scores the conformal gate's
+    ``unmeetable=True`` refusals (:mod:`repro.service.admission`):
+
+    * every unmeetable response must be a refusal, never shed (the gate
+      fires *before* the queue) — violations are mismatches;
+    * **precision** — the fraction of unmeetable refusals whose deadline
+      genuinely could not be met, judged by the generator's ground-truth
+      ``event.unmeetable`` tag or, as a secondary oracle, by the deadline
+      lying strictly below the smallest completed latency any request of
+      the same kind achieved in this very run;
+    * **recall** — the fraction of ground-truth-tagged events the gate
+      refused;
+    * **coverage** — over completed answers stamped with a predicted
+      interval, the empirical fraction whose measured latency landed
+      inside it; ``coverage_lo`` is the one-sided fraction at or above the
+      *lower* bound — the side the refusal decision keys on, and the one
+      that stays conservative when backlog growth drifts the upper bound.
+
+    Each ratio is ``None`` when its denominator is empty (gate off, no
+    tagged events, calibration never warmed) — absent evidence is never
+    reported as a perfect score.
 
     ``clear_memo_tables`` (default on) empties the process-global memo
     tables first, so the oracle *recomputes* every answer instead of
@@ -257,8 +290,59 @@ def verify_replay(
     skipped = 0
     shed = 0
     mismatches: List[Dict[str, object]] = []
+    unmeetable_refusals: List[Tuple[int, object]] = []
+    tagged_total = 0
+    tagged_refused = 0
+    interval_samples = 0
+    interval_covered = 0
+    lo_covered = 0
+    min_completed_latency: Dict[str, float] = {}
     for index, (event, response) in enumerate(zip(events, responses)):
         request = request_from_event(event)
+        if response.unmeetable:
+            unmeetable_refusals.append((index, event))
+            if response.status != "refused":
+                mismatches.append(
+                    {
+                        "index": index,
+                        "kind": response.kind,
+                        "error": (
+                            "unmeetable response must be a refusal, got "
+                            f"status {response.status!r}"
+                        ),
+                    }
+                )
+            if response.shed:
+                mismatches.append(
+                    {
+                        "index": index,
+                        "kind": response.kind,
+                        "error": (
+                            "a response cannot be both unmeetable and shed — "
+                            "the admission gate fires before the queue"
+                        ),
+                    }
+                )
+        if getattr(event, "unmeetable", False):
+            tagged_total += 1
+            if response.unmeetable:
+                tagged_refused += 1
+        if response.status in ("ok", "partial") and not request.is_edit:
+            latency = response.latency_s
+            known = min_completed_latency.get(response.kind)
+            if known is None or latency < known:
+                min_completed_latency[response.kind] = latency
+            if response.predicted_lo_s is not None:
+                hi = (
+                    math.inf
+                    if response.predicted_hi_s is None
+                    else response.predicted_hi_s
+                )
+                interval_samples += 1
+                if latency >= response.predicted_lo_s:
+                    lo_covered += 1
+                    if latency <= hi:
+                        interval_covered += 1
         if response.shed:
             shed += 1
             if response.status != "refused":
@@ -310,10 +394,39 @@ def verify_replay(
                     "got": response.answer,
                 }
             )
+    correct_refusals = 0
+    for _index, event in unmeetable_refusals:
+        if getattr(event, "unmeetable", False):
+            correct_refusals += 1
+            continue
+        deadline = getattr(event, "deadline_s", None)
+        floor = min_completed_latency.get(event.kind)
+        if deadline is not None and floor is not None and deadline < floor:
+            # Secondary oracle: nothing of this kind ever completed that
+            # fast in this run, so the refusal was justified even without
+            # a generator tag.
+            correct_refusals += 1
+    refused_unmeetable = len(unmeetable_refusals)
+    admission = {
+        "refused_unmeetable": refused_unmeetable,
+        "precision": (
+            correct_refusals / refused_unmeetable if refused_unmeetable else None
+        ),
+        "recall": (tagged_refused / tagged_total if tagged_total else None),
+        "coverage": (
+            interval_covered / interval_samples if interval_samples else None
+        ),
+        "coverage_lo": (
+            lo_covered / interval_samples if interval_samples else None
+        ),
+        "interval_samples": interval_samples,
+        "tagged_unmeetable": tagged_total,
+    }
     return {
         "checked": checked,
         "skipped": skipped,
         "shed": shed,
+        "admission": admission,
         "mismatches": mismatches,
     }
 

@@ -20,6 +20,18 @@ the bookkeeping the service contract promises:
   request's effective deadline (see :meth:`ServiceRequest.effective_deadline`)
   had already passed while it sat in the admission queue, so no budget was
   spent computing an answer nobody could use.
+* ``unmeetable`` marks refusals the **conformal admission gate** issued at
+  submission (:mod:`repro.service.admission`): the deadline fell below the
+  calibrated lower bound of the request class's predicted service time (or
+  below the deterministic policy floor), so the request never queued at
+  all.  ``predicted_lo_s``/``predicted_hi_s`` carry that predicted
+  interval (``None`` upper bound = unbounded); in conformal mode they are
+  also stamped on admitted deadlined reads, so the calibrator's empirical
+  coverage stays measurable.  ``confidence``, on ``partial``/unknown
+  answers, is the calibrated confidence that the deadline was genuinely
+  unmeetable at full budgets (``1 - p_meet`` — a conformal p-value, not a
+  guess), letting clients distinguish "retry with a looser deadline" from
+  "genuinely unknown".
 """
 
 from __future__ import annotations
@@ -172,6 +184,13 @@ class ServiceResponse:
     latency_s: float = 0.0
     deadline_missed: bool = False
     shed: bool = False  # refused pre-dispatch: deadline expired in the queue
+    #: Refused at *admission* by the conformal gate — never queued, never a
+    #: verdict; the predicted interval below says why.
+    unmeetable: bool = False
+    predicted_lo_s: Optional[float] = None
+    predicted_hi_s: Optional[float] = None  # None = unbounded above
+    #: Calibrated unmeetability confidence on partial/unknown answers.
+    confidence: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -196,4 +215,8 @@ class ServiceResponse:
             "latency_s": self.latency_s,
             "deadline_missed": self.deadline_missed,
             "shed": self.shed,
+            "unmeetable": self.unmeetable,
+            "predicted_lo_s": self.predicted_lo_s,
+            "predicted_hi_s": self.predicted_hi_s,
+            "confidence": self.confidence,
         }

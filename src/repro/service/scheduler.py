@@ -34,13 +34,18 @@ mechanics are shared and the FIFO lane really is the PR-3 queue bit for bit.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import heapq
+import itertools
 import math
-from typing import Optional, Tuple as PyTuple
+import threading
+from typing import Callable, List, Optional, Tuple as PyTuple
 
 __all__ = [
     "AdmissionScheduler",
     "EdfScheduler",
     "FifoScheduler",
+    "OrderedPool",
     "SCHEDULERS",
     "ScheduledEntry",
     "make_scheduler",
@@ -187,6 +192,64 @@ class EdfScheduler(AdmissionScheduler):
             and entry.deadline_abs is not None
             and now > entry.deadline_abs
         )
+
+
+class OrderedPool:
+    """A policy-ordered hand-off in front of a FIFO thread pool.
+
+    The admission queue orders *undispatched* work, but a plain
+    :class:`~concurrent.futures.ThreadPoolExecutor` drains what has been
+    dispatched strictly FIFO — so with the dispatcher keeping up to two
+    items per worker in flight, an earlier-deadline read popped later
+    could sit behind a later-deadline one inside the executor's internal
+    queue, beyond the scheduler's reach.  This class extends the
+    scheduler's order through the pool itself: work is pushed onto a
+    lock-guarded heap keyed by the *scheduler's own sort key*, and each
+    real executor submission is a generic drain that pops the
+    smallest-key entry at the moment a worker actually frees up.  Under
+    EDF the worker picks up the earliest effective deadline then; under
+    FIFO the keys are ``(priority, submission order)`` — exactly arrival
+    order — so the FIFO lane's executor behaviour is bit-identical to the
+    plain pool it replaces.
+
+    ``submit`` returns a :class:`concurrent.futures.Future`; the service
+    bridges it onto the event loop with :func:`asyncio.wrap_future`.
+    Every submission enqueues exactly one drain, so every heap entry is
+    eventually popped; the heap is guarded by one small lock (submit runs
+    on the event-loop thread, drains on worker threads).
+    """
+
+    def __init__(self, executor: concurrent.futures.Executor) -> None:
+        self._executor = executor
+        self._heap: List[PyTuple] = []
+        self._lock = threading.Lock()
+        # Heap tiebreak for identical keys (and a guard against comparing
+        # the work functions themselves).
+        self._tie = itertools.count()
+
+    def submit(
+        self, key: PyTuple, fn: Callable[[], object]
+    ) -> concurrent.futures.Future:
+        """Enqueue ``fn`` at ``key``; runs when a worker frees *and* it is
+        the smallest pending key."""
+
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            heapq.heappush(self._heap, (key, next(self._tie), fn, future))
+        self._executor.submit(self._drain_one)
+        return future
+
+    def _drain_one(self) -> None:
+        with self._lock:
+            _key, _tie, fn, future = heapq.heappop(self._heap)
+        if not future.set_running_or_notify_cancel():
+            return
+        try:
+            result = fn()
+        except BaseException as error:  # noqa: BLE001 — mirror executor semantics
+            future.set_exception(error)
+        else:
+            future.set_result(result)
 
 
 #: Scheduler name -> class, the vocabulary of ``CatalogService(scheduler=…)``

@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import math
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -73,6 +74,12 @@ from repro.engine.delta import TOPIC_VIEWS, CatalogDelta, CatalogSnapshot
 from repro.exceptions import ReproError
 from repro.perf.cache import cache_stats
 from repro.relalg.ast import Expression
+from repro.service.admission import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionDecision,
+    ConformalInterval,
+)
 from repro.service.deadline import DeadlinePolicy, TIER_BASE, TIER_REFUSE
 from repro.service.journal import (
     DeltaJournal,
@@ -90,6 +97,7 @@ from repro.service.requests import (
 from repro.service.scheduler import (
     SCHEDULERS,
     AdmissionScheduler,
+    OrderedPool,
     ScheduledEntry,
     make_scheduler,
 )
@@ -115,13 +123,17 @@ _LATENCY_WINDOW = 4096
 
 
 class _WorkItem:
-    __slots__ = ("request", "future", "enqueued", "key")
+    __slots__ = ("request", "future", "enqueued", "key", "interval")
 
-    def __init__(self, request, future, enqueued, key):
+    def __init__(self, request, future, enqueued, key, interval=None):
         self.request = request
         self.future = future
         self.enqueued = enqueued
         self.key = key
+        # The conformal service-time interval consulted at admission
+        # (conformal mode, deadlined reads only) — stamped onto the
+        # response so the calibrator's empirical coverage is measurable.
+        self.interval = interval
 
 
 class CatalogService:
@@ -169,6 +181,21 @@ class CatalogService:
         view report of every added/replaced view right after the edit
         commits, so the next ``view_report`` read hits warm memo tables
         (``warm_prefetches``/``warm_hits`` in :meth:`metrics` prove it).
+    admission:
+        ``"off"`` (default — today's behaviour, bit for bit) or
+        ``"conformal"``: consult the split-conformal admission controller
+        (:mod:`repro.service.admission`) at submission and refuse, with an
+        explicit ``unmeetable`` response carrying the predicted interval
+        and never a verdict, any deadlined read whose deadline falls below
+        the calibrated lower bound of its class's predicted end-to-end
+        time (or below the deterministic policy floor).  The calibrator
+        itself observes samples in both modes — including censored
+        samples from shed/refused requests, the survivorship fix — so
+        ``metrics()`` always reports its state; only the *gate* is mode
+        switched.
+    coverage:
+        The conformal coverage level of issued intervals (default 0.9);
+        refusal precision is at least this by construction.
     clock:
         Monotonic time source (injectable for tests).
 
@@ -187,6 +214,8 @@ class CatalogService:
         history_window: Optional[int] = None,
         journal: Optional[DeltaJournal] = None,
         cache_warm: bool = False,
+        admission: str = "off",
+        coverage: float = 0.9,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
@@ -198,6 +227,13 @@ class CatalogService:
                 f"unknown scheduler {scheduler!r}; expected one of "
                 f"{tuple(SCHEDULERS)}"
             )
+        if admission not in ADMISSION_MODES:
+            raise ServiceError(
+                f"unknown admission mode {admission!r}; expected one of "
+                f"{ADMISSION_MODES}"
+            )
+        if not 0.0 < coverage < 1.0:
+            raise ServiceError(f"coverage must be in (0, 1), got {coverage}")
         self._analyzer = CatalogAnalyzer(views, limits=limits)
         self._limits = limits
         self._jobs = int(jobs)
@@ -238,6 +274,15 @@ class CatalogService:
         self._reuse_needed = 0
         self._push_latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._push_total_s = 0.0
+        # Conformal admission (PR 7).  The controller always exists and
+        # always observes — censored samples included — so its calibration
+        # state is inspectable (and warm) in either mode; only the gate in
+        # submit() is switched by the mode.
+        self._admission_mode = admission
+        self._admission = AdmissionController(policy, coverage=coverage)
+        self._admission_refused = 0
+        self._confidence_attached = 0
+        self._pool: Optional[OrderedPool] = None
         # Durability + cache warming (PR 6).
         self._journal = journal
         self._cache_warm = bool(cache_warm)
@@ -257,6 +302,11 @@ class CatalogService:
         self._executor = ThreadPoolExecutor(
             max_workers=self._jobs, thread_name_prefix="repro-service"
         )
+        # Reads reach the workers through a policy-ordered hand-off keyed
+        # by the scheduler's own sort key, so EDF ordering extends through
+        # the executor itself (FIFO keys are arrival order — bit-identical
+        # to the plain pool).
+        self._pool = OrderedPool(self._executor)
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch(self._sched)
         )
@@ -309,6 +359,7 @@ class CatalogService:
         self._executor.shutdown(wait=True)
         self._dispatcher = None
         self._executor = None
+        self._pool = None
         if self._journal is not None:
             self._journal.close()
 
@@ -336,6 +387,18 @@ class CatalogService:
         """The admission-scheduling policy name (``"edf"`` or ``"fifo"``)."""
 
         return self._scheduler_name
+
+    @property
+    def admission(self) -> str:
+        """The admission-gate mode (``"off"`` or ``"conformal"``)."""
+
+        return self._admission_mode
+
+    @property
+    def admission_controller(self) -> AdmissionController:
+        """The service-time calibrator (observing in both admission modes)."""
+
+        return self._admission
 
     @property
     def analyzer(self) -> CatalogAnalyzer:
@@ -421,8 +484,27 @@ class CatalogService:
         if key is not None and key in self._inflight:
             self._coalesced += 1
             return await asyncio.shield(self._inflight[key])
+        # The conformal admission gate sits ahead of the queue (and so
+        # ahead of EDF): a deadlined read whose deadline cannot be met —
+        # deterministically (below the policy floor) or at calibrated
+        # coverage (below the class's conformal lower bound) — is refused
+        # *here*, before it spends a queue slot or any wall-clock waiting.
+        # The refusal is explicit and verdict-free; cold classes pass
+        # through, so an uncalibrated service admits what "off" admits.
+        interval: Optional[ConformalInterval] = None
+        if (
+            self._admission_mode == "conformal"
+            and not request.is_edit
+            and request.deadline_s is not None
+        ):
+            decision = self._admission.decide(
+                request.kind, request.deadline_s, len(self._analyzer.views)
+            )
+            if not decision.admit:
+                return self._refuse_unmeetable(request, decision)
+            interval = decision.interval
         future = asyncio.get_running_loop().create_future()
-        item = _WorkItem(request, future, now, key)
+        item = _WorkItem(request, future, now, key, interval)
         # Edits are never shed — a catalog mutation must be applied, not
         # dropped because a deadline elapsed (a deadline on an edit only
         # feeds the response's miss accounting).  For *ordering* they carry
@@ -608,6 +690,11 @@ class CatalogService:
             push_total_s=self._push_total_s,
             warm_prefetches=self._warm_prefetches,
             warm_hits=self._warm_hits,
+            admission_mode=self._admission_mode,
+            admission_coverage=self._admission.coverage,
+            admission_refused=self._admission_refused,
+            confidence_attached=self._confidence_attached,
+            admission_calibration=self._admission.stats(),
             journal=self._journal.stats() if self._journal is not None else None,
             cache=cache_stats(),
         )
@@ -661,13 +748,55 @@ class CatalogService:
                         tuple(self._serve_tasks),
                         return_when=asyncio.FIRST_COMPLETED,
                     )
-                task = asyncio.get_running_loop().create_task(self._serve(item))
+                # The scheduler's own sort key follows the read into the
+                # ordered pool, so among dispatched-but-unstarted work the
+                # workers also pick up EDF-earliest first (FIFO keys are
+                # arrival order — unchanged behaviour).
+                task = asyncio.get_running_loop().create_task(
+                    self._serve(item, sched.sort_key(entry))
+                )
                 self._serve_tasks.add(task)
                 task.add_done_callback(self._serve_tasks.discard)
 
     def _resolve(self, item: _WorkItem, response: ServiceResponse) -> None:
         if not item.future.done():
             item.future.set_result(response)
+
+    def _refuse_unmeetable(
+        self, request: ServiceRequest, decision: AdmissionDecision
+    ) -> ServiceResponse:
+        """The admission gate's refusal: instant, explicit, verdict-free.
+
+        The request never queued, so it resolves with ~zero latency —
+        well inside its deadline, hence **not** a miss: the controller
+        declining doomed work up front is exactly what pulls the
+        deadline-miss rate below the shed-after-expiry baseline.  It
+        still counts as ``deadlined`` so the miss-rate denominator stays
+        comparable between admission modes.  No service-time sample is
+        recorded (an instant refusal says nothing about service time).
+        """
+
+        self._refused += 1
+        self._deadlined += 1
+        self._admission_refused += 1
+        interval = decision.interval
+        confidence = self._admission.confidence_unmeetable(
+            request.kind, request.deadline_s, len(self._analyzer.views)
+        )
+        return ServiceResponse(
+            kind=request.kind,
+            status="refused",
+            reason=decision.reason,
+            version=self._version,
+            unmeetable=True,
+            predicted_lo_s=interval.lo_s if interval is not None else None,
+            predicted_hi_s=(
+                None
+                if interval is None or math.isinf(interval.hi_s)
+                else interval.hi_s
+            ),
+            confidence=confidence,
+        )
 
     def _finish(
         self,
@@ -704,6 +833,44 @@ class CatalogService:
         else:
             self._served += 1
             self._latencies.append(latency)
+        if not item.request.is_edit:
+            # Feed the service-time calibrator (both admission modes — a
+            # later conformal service starts warm, and metrics always show
+            # the calibration state).  Completed answers are exact samples;
+            # timing refusals (shed, expired or below-floor at dispatch —
+            # ``computed=False``) are *censored*: the elapsed time at
+            # refusal lower-bounds the completion time nobody waited for.
+            # That is the survivorship fix — without it the model would
+            # train only on requests that made it.  Tagged censored, the
+            # samples stay out of the p50/p95 serving percentiles above.
+            if status != "refused":
+                self._admission.observe(
+                    item.request.kind,
+                    item.request.deadline_s,
+                    len(self._analyzer.views),
+                    latency,
+                    censored=False,
+                )
+            elif not computed:
+                self._admission.observe(
+                    item.request.kind,
+                    item.request.deadline_s,
+                    len(self._analyzer.views),
+                    latency,
+                    censored=True,
+                )
+        confidence: Optional[float] = None
+        if status == "partial" and self._admission_mode == "conformal":
+            # A truncated search proved nothing; the calibrator quantifies
+            # whether the *deadline* (not the question) was the problem.
+            confidence = self._admission.confidence_unmeetable(
+                item.request.kind,
+                item.request.deadline_s,
+                len(self._analyzer.views),
+            )
+            if confidence is not None:
+                self._confidence_attached += 1
+        interval = item.interval
         self._resolve(
             item,
             ServiceResponse(
@@ -717,6 +884,13 @@ class CatalogService:
                 latency_s=latency,
                 deadline_missed=missed,
                 shed=shed,
+                predicted_lo_s=interval.lo_s if interval is not None else None,
+                predicted_hi_s=(
+                    None
+                    if interval is None or math.isinf(interval.hi_s)
+                    else interval.hi_s
+                ),
+                confidence=confidence,
             ),
         )
 
@@ -898,7 +1072,7 @@ class CatalogService:
                 self._warmed[name] = version
 
     # ------------------------------------------------------------ read path
-    async def _serve(self, item: _WorkItem) -> None:
+    async def _serve(self, item: _WorkItem, order_key) -> None:
         request = item.request
         now = self._clock()
         waited = now - item.enqueued
@@ -942,11 +1116,12 @@ class CatalogService:
             and self._warmed.get(request.subject) == version
         ):
             self._warm_hits += 1
-        loop = asyncio.get_running_loop()
         try:
-            status, answer, reason = await loop.run_in_executor(
-                self._executor,
-                lambda: self._answer(analyzer, request, tier, limits),
+            status, answer, reason = await asyncio.wrap_future(
+                self._pool.submit(
+                    order_key,
+                    lambda: self._answer(analyzer, request, tier, limits),
+                )
             )
         except ReproError as error:
             self._finish(

@@ -99,6 +99,11 @@ class TrafficEvent:
     view: Optional[View] = None
     priority: int = 10
     deadline_s: Optional[float] = None
+    #: Ground-truth label: the generator *knows* this deadline cannot be met
+    #: (it lies below the policy floor of the lane the mix is built for), so
+    #: the replay verifier can score the admission gate's refusal precision
+    #: and recall against it.
+    unmeetable: bool = False
 
 
 def _pick_read(
@@ -294,6 +299,8 @@ def overload_mix(
     loose_deadline_s: float = 10.0,
     doomed_fraction: float = 0.05,
     doomed_deadline_s: float = 0.001,
+    unmeetable_fraction: float = 0.0,
+    unmeetable_deadline_s: float = 0.002,
 ) -> List[TrafficEvent]:
     """Mixed-deadline bursts that make EDF vs FIFO scheduling measurable.
 
@@ -311,6 +318,18 @@ def overload_mix(
     scheduler lanes replay an *identical* question set and their
     deadline-miss/shed rates are directly comparable (and every exact
     answer stays replay-verifiable against the unchanging catalog).
+
+    ``unmeetable_fraction`` carves an extra cohort out of the *loose* slice
+    with ``unmeetable_deadline_s`` — like the doomed slice, strictly below
+    the tight range and (for the overload policy) below the refusal floor,
+    so no scheduler could ever meet it.  Both the doomed and unmeetable
+    cohorts carry the ``unmeetable=True`` ground-truth tag, which the
+    replay verifier scores the conformal admission gate's refusals against.
+    The cohort's deadline is a constant (no seeded draw) and tight-slice
+    sizing is unchanged, so at ``unmeetable_fraction=0`` the generated
+    questions, deadlines and ordering are bit-identical to the
+    pre-admission mix (only the ground-truth tag is new) — the back-compat
+    contract of the ``--admission off`` lanes.
     """
 
     if requests < 1:
@@ -328,6 +347,15 @@ def overload_mix(
             "doomed_fraction must be in [0, 1] and tight + doomed must not "
             f"exceed 1, got {tight_fraction} + {doomed_fraction}"
         )
+    if (
+        not 0.0 <= unmeetable_fraction <= 1.0
+        or tight_fraction + doomed_fraction + unmeetable_fraction > 1.0
+    ):
+        raise WorkloadError(
+            "unmeetable_fraction must be in [0, 1] and tight + doomed + "
+            f"unmeetable must not exceed 1, got {tight_fraction} + "
+            f"{doomed_fraction} + {unmeetable_fraction}"
+        )
     if not 0 < tight_deadline_min_s <= tight_deadline_max_s:
         raise WorkloadError(
             "tight deadlines need 0 < min <= max, got "
@@ -336,6 +364,10 @@ def overload_mix(
     if not 0 < doomed_deadline_s < tight_deadline_min_s:
         raise WorkloadError(
             "doomed_deadline_s must lie strictly below the tight range"
+        )
+    if not 0 < unmeetable_deadline_s < tight_deadline_min_s:
+        raise WorkloadError(
+            "unmeetable_deadline_s must lie strictly below the tight range"
         )
     if loose_deadline_s <= tight_deadline_max_s:
         raise WorkloadError(
@@ -358,15 +390,24 @@ def overload_mix(
             size,
         )
         tight_count = min(round(size * tight_fraction), size - doomed_count)
+        # The unmeetable cohort is carved from the *loose* remainder (never
+        # the seeded tight slice) and its deadline is a constant, so sizing
+        # it cannot shift the rng.uniform stream the tight slice draws from
+        # — at unmeetable_fraction=0 the mix is bit-identical to before.
+        unmeetable_count = min(
+            round(size * unmeetable_fraction), size - doomed_count - tight_count
+        )
+        loose_count = size - tight_count - doomed_count - unmeetable_count
         deadlines = (
-            [loose_deadline_s] * (size - tight_count - doomed_count)
+            [(loose_deadline_s, False)] * loose_count
+            + [(unmeetable_deadline_s, True)] * unmeetable_count
             + [
-                rng.uniform(tight_deadline_min_s, tight_deadline_max_s)
+                (rng.uniform(tight_deadline_min_s, tight_deadline_max_s), False)
                 for _ in range(tight_count)
             ]
-            + [doomed_deadline_s] * doomed_count
+            + [(doomed_deadline_s, True)] * doomed_count
         )
-        for deadline in deadlines:
+        for deadline, unmeetable in deadlines:
             event = _pick_read(rng, base_names, catalog, schema)
             events.append(
                 TrafficEvent(
@@ -375,6 +416,7 @@ def overload_mix(
                     other=event.other,
                     query=event.query,
                     deadline_s=deadline,
+                    unmeetable=unmeetable,
                 )
             )
     return events
