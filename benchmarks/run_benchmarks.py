@@ -16,8 +16,10 @@ by pushing per-edit deltas instead of answering per-client core polls,
 with every delta fold verified bit-identical against fresh serial
 analyzers; PR 6 adds the journal/recovery lanes measuring the fsync-policy
 cost of the durable delta journal and snapshot+fold crash recovery against
-cold re-analysis, the recovered analyzer verified bit-identical) — against
-both engines:
+cold re-analysis, the recovered analyzer verified bit-identical; PR 8 adds
+the tracing lanes replaying the burst mix with the span tracer off and on,
+gating ``trace_overhead_ratio`` at 1.05x and recording the per-stage
+latency breakdown) — against both engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -62,6 +64,7 @@ from repro.baselines.seed_engine import (  # noqa: E402
     seed_views_equivalent,
 )
 from repro.engine import CatalogAnalyzer, process_chunksize  # noqa: E402
+from repro.obs.tracing import Tracer, trace_breakdown  # noqa: E402
 from repro.perf import cache_stats, clear_caches  # noqa: E402
 from repro.service import (  # noqa: E402
     OVERLOAD_POLICY,
@@ -632,6 +635,64 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         "interval_samples": cohort_verdict["interval_samples"],
     }
 
+    # Tracing lanes (PR 8): the same seed-43 burst mix replayed from cold
+    # caches with the tracer off and on, min-of-N each.  The off lane is the
+    # untraced baseline (NULL_TRACER: one attribute check per guard, no
+    # allocation); trace_overhead_ratio = traced / untraced wall-clock must
+    # stay within 1.05 — the bench-gated budget for full span recording.
+    # The traced run also re-verifies every completed request's stage chain
+    # and that its spans tile the measured latency.
+    trace_repeats = max(3, min(repeats, 5))
+    off_times = []
+    for _ in range(trace_repeats):
+        clear_caches()
+        lane = run_traffic(
+            catalog,
+            overload_events,
+            jobs=jobs,
+            scheduler="edf",
+            policy=OVERLOAD_POLICY,
+        )
+        all_identical = all_identical and not lane["verdict"]["mismatches"]
+        off_times.append(lane["elapsed_s"])
+    on_times = []
+    traced_lane = None
+    for _ in range(trace_repeats):
+        clear_caches()
+        lane = run_traffic(
+            catalog,
+            overload_events,
+            jobs=jobs,
+            scheduler="edf",
+            policy=OVERLOAD_POLICY,
+            tracer=Tracer(),
+        )
+        all_identical = all_identical and not lane["verdict"]["mismatches"]
+        on_times.append(lane["elapsed_s"])
+        traced_lane = lane
+    trace_verdict = traced_lane["trace"]["verdict"]
+    all_identical = (
+        all_identical
+        and not trace_verdict["mismatches"]
+        and not trace_verdict["structural_problems"]
+    )
+    trace_overhead_ratio = min(on_times) / max(min(off_times), 1e-9)
+    tracing = {
+        "repeats": trace_repeats,
+        "events": len(overload_events),
+        "untraced_min_s": min(off_times),
+        "traced_min_s": min(on_times),
+        "trace_overhead_ratio": trace_overhead_ratio,
+        "trace_overhead_ok": trace_overhead_ratio <= 1.05,
+        "spans": len(traced_lane["trace"]["spans"]),
+        "checked": trace_verdict["checked"],
+        "complete_chains": trace_verdict["complete_chains"],
+        "coalesced_links": trace_verdict["coalesced_links"],
+        "chain_mismatches": len(trace_verdict["mismatches"]),
+        "structural_problems": len(trace_verdict["structural_problems"]),
+        "breakdown": trace_breakdown(traced_lane["trace"]["spans"]),
+    }
+
     # Subscription lanes (PR 5): the same edit-heavy seeded mix replayed
     # three ways from cold caches —
     #   base: no subscribers and no polls (the shared cost floor),
@@ -801,6 +862,7 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         "overload_miss_rates": overload_rates,
         "edf_miss_below_fifo": overload_rates["edf"] < overload_rates["fifo"],
         "admission": admission,
+        "tracing": tracing,
         "subscription": subscription,
         "recovery": recovery,
     }
@@ -868,6 +930,18 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 f"{fmt(adm['empirical_coverage'])} two-sided / "
                 f"{fmt(adm['empirical_coverage_lo'])} lower-bound over "
                 f"{adm['interval_samples']} intervals"
+            )
+        if "tracing" in summary:
+            tr = summary["tracing"]
+            print(
+                f"[bench]   tracing: overhead ratio "
+                f"{tr['trace_overhead_ratio']:.3f} "
+                f"(traced {tr['traced_min_s'] * 1000:.1f}ms vs untraced "
+                f"{tr['untraced_min_s'] * 1000:.1f}ms, ok="
+                f"{tr['trace_overhead_ok']}); {tr['spans']} spans, "
+                f"{tr['complete_chains']}/{tr['checked']} chains tile the "
+                f"latency ({tr['chain_mismatches']} mismatches, "
+                f"{tr['structural_problems']} structural)"
             )
         if "subscription" in summary:
             sub = summary["subscription"]
@@ -940,6 +1014,16 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                     "empirical_coverage": adm["empirical_coverage"],
                     "empirical_coverage_lo": adm["empirical_coverage_lo"],
                 }
+            if "tracing" in suites[name]:
+                tr = suites[name]["tracing"]
+                entry["tracing"] = {
+                    "trace_overhead_ratio": round(tr["trace_overhead_ratio"], 4),
+                    "trace_overhead_ok": tr["trace_overhead_ok"],
+                    "spans": tr["spans"],
+                    "complete_chains": tr["complete_chains"],
+                    "chain_mismatches": tr["chain_mismatches"],
+                    "structural_problems": tr["structural_problems"],
+                }
             if "subscription" in suites[name]:
                 sub = suites[name]["subscription"]
                 entry["subscription"] = {
@@ -970,7 +1054,7 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 }
         summary_block[name] = entry
     report = {
-        "schema_version": 6,
+        "schema_version": 7,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpus": os.cpu_count(),
@@ -1017,6 +1101,16 @@ def main(argv=None) -> int:
         print(
             "[bench] ERROR: service answers were not bit-identical to a fresh "
             "serial CatalogAnalyzer on the same catalog state",
+            file=sys.stderr,
+        )
+        return 1
+    if not all(
+        entry.get("tracing", {}).get("trace_overhead_ok", True)
+        for entry in report["summary"].values()
+    ):
+        print(
+            "[bench] ERROR: tracing overhead exceeded the 1.05x budget "
+            "(trace_overhead_ratio gate)",
             file=sys.stderr,
         )
         return 1

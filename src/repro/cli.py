@@ -20,6 +20,13 @@ exposes the paper's decision procedures to shell users::
                                         # journal every edit, die mid-write
     python -m repro.cli recover /tmp/j.jsonl --verify
                                         # fold the journal back, bit-verify
+    python -m repro.cli traffic --overload --trace /tmp/t.jsonl --jobs 2
+                                        # record per-stage spans, verify they
+                                        # tile each request's latency
+    python -m repro.cli trace /tmp/t.jsonl   # per-stage latency breakdown
+    python -m repro.cli metrics --format prom
+                                        # Prometheus exposition from a seeded
+                                        # traffic run (self-validated)
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no",
@@ -219,7 +226,54 @@ def build_parser() -> argparse.ArgumentParser:
         "edit commits",
     )
     traffic.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record per-stage spans (admission, queue wait, dispatch, "
+        "compute, journal, publish) for every request and dump them to PATH "
+        "as JSONL; the run verifies that each completed request's spans form "
+        "the full stage chain and tile its measured latency, and exits 1 on "
+        "any trace mismatch",
+    )
+    traffic.add_argument(
         "--json", action="store_true", help="emit the traffic summary as JSON"
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarise a span dump written by `traffic --trace`: per-stage "
+        "latency breakdown plus structural checks",
+    )
+    trace.add_argument("dump", help="path to a JSONL span dump")
+    trace.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON"
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run a small seeded traffic mix and print the service's metrics "
+        "registry (Prometheus text exposition or JSON)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format: Prometheus text exposition 0.0.4 (prom, "
+        "default; self-validated before printing) or JSON",
+    )
+    metrics.add_argument(
+        "--requests", type=int, default=200, help="traffic events to replay"
+    )
+    metrics.add_argument("--seed", type=int, default=43, help="traffic seed")
+    metrics.add_argument(
+        "--jobs", type=int, default=2, help="service worker threads for reads"
+    )
+    metrics.add_argument(
+        "--admission",
+        choices=("off", "conformal"),
+        default="conformal",
+        help="admission control for the internal run (conformal by default "
+        "so the drift-monitor gauges are populated)",
     )
 
     recover = subparsers.add_parser(
@@ -332,6 +386,7 @@ def _cmd_traffic(args, out) -> int:
         FaultyFile,
         run_traffic,
     )
+    from repro.obs.tracing import Tracer, dump_spans
     from repro.service.requests import EDIT_KINDS
     from repro.workloads import (
         IoFault,
@@ -406,6 +461,7 @@ def _cmd_traffic(args, out) -> int:
             snapshot_every=snapshot_every,
             wrap=wrap,
         )
+    tracer = Tracer() if args.trace is not None else None
     lane = run_traffic(
         catalog,
         events,
@@ -418,6 +474,7 @@ def _cmd_traffic(args, out) -> int:
         cache_warm=args.cache_warm,
         admission=args.admission,
         coverage=args.coverage,
+        tracer=tracer,
     )
     metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
     # Per-edit decision reuse: each applied edit's incremental accounting,
@@ -455,6 +512,20 @@ def _cmd_traffic(args, out) -> int:
         "journal": lane["journal"],
         "metrics": metrics.to_dict(),
     }
+    trace_verdict = None
+    if tracer is not None:
+        trace_verdict = lane["trace"]["verdict"]
+        written = dump_spans(lane["trace"]["spans"], args.trace)
+        summary["trace"] = {
+            "path": args.trace,
+            "spans": written,
+            "dropped": tracer.dropped,
+            "checked": trace_verdict["checked"],
+            "complete_chains": trace_verdict["complete_chains"],
+            "coalesced_links": trace_verdict["coalesced_links"],
+            "structural_problems": trace_verdict["structural_problems"],
+            "mismatches": trace_verdict["mismatches"],
+        }
     sub_verdict = None
     if lane["subscriptions"] is not None:
         sub_verdict = lane["subscriptions"]["verdict"]
@@ -574,12 +645,27 @@ def _cmd_traffic(args, out) -> int:
                 f"{s['silent_drops']} silent drops",
                 file=out,
             )
+        if trace_verdict is not None:
+            t = summary["trace"]
+            print(
+                f"  trace: {t['spans']} spans -> {t['path']} "
+                f"({t['dropped']} dropped); {t['complete_chains']}/"
+                f"{t['checked']} complete stage chains tiling the latency, "
+                f"{t['coalesced_links']} coalesced links, "
+                f"{len(t['structural_problems'])} structural problems, "
+                f"{len(t['mismatches'])} chain mismatches",
+                file=out,
+            )
         print(
             f"  verified {summary['verified']} exact answers against fresh "
             f"analyzers; {summary['mismatches']} mismatches",
             file=out,
         )
     failed = bool(verdict["mismatches"])
+    if trace_verdict is not None:
+        failed = failed or bool(trace_verdict["mismatches"]) or bool(
+            trace_verdict["structural_problems"]
+        )
     if sub_verdict is not None:
         failed = failed or bool(sub_verdict["mismatches"]) or bool(
             sub_verdict["silent_drops"]
@@ -591,6 +677,85 @@ def _cmd_traffic(args, out) -> int:
         # that never fired (precision None) is not a failure.
         failed = failed or (precision is not None and precision < 0.9)
     return 1 if failed else 0
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.obs.tracing import check_spans, load_spans, trace_breakdown
+
+    try:
+        spans = load_spans(args.dump)
+    except (ValueError, KeyError) as error:
+        print(f"error: {args.dump} is not a span dump: {error}", file=out)
+        return 2
+    problems = check_spans(spans)
+    breakdown = trace_breakdown(spans)
+    traces = len({span.trace_id for span in spans})
+    if args.json:
+        payload = {
+            "spans": len(spans),
+            "traces": traces,
+            "stages": breakdown,
+            "problems": problems,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 1 if problems else 0
+    print(f"{args.dump}: {len(spans)} spans across {traces} traces", file=out)
+    if breakdown:
+        width = max(len(stage) for stage in breakdown)
+        print(
+            f"  {'stage'.ljust(width)}  count     p50        p95      total",
+            file=out,
+        )
+        for stage, stats in breakdown.items():
+            print(
+                f"  {stage.ljust(width)}  {stats['count']:5d}  "
+                f"{stats['p50_s'] * 1000:7.3f}ms  {stats['p95_s'] * 1000:7.3f}ms  "
+                f"{stats['total_s']:7.3f}s",
+                file=out,
+            )
+    if problems:
+        print(f"  {len(problems)} structural problem(s):", file=out)
+        for problem in problems:
+            print(f"    {problem}", file=out)
+        return 1
+    print("  structure verified: known stages, non-negative, non-overlapping", file=out)
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    from repro.obs.registry import validate_exposition
+    from repro.service import OVERLOAD_POLICY, run_traffic
+    from repro.workloads import SchemaSpec, overload_mix, random_schema, view_catalog
+
+    schema = random_schema(
+        SchemaSpec(relations=4, arity=2, universe_size=5), seed=args.seed
+    )
+    catalog = view_catalog(
+        schema, classes=3, copies_per_class=2, members=2, atoms_per_query=2,
+        seed=args.seed,
+    )
+    events = overload_mix(schema, catalog, requests=args.requests, seed=args.seed)
+    lane = run_traffic(
+        catalog,
+        events,
+        jobs=args.jobs,
+        scheduler="edf",
+        policy=OVERLOAD_POLICY,
+        admission=args.admission,
+    )
+    registry = lane["registry"]
+    if args.format == "json":
+        print(registry.render_json(), file=out)
+        return 0
+    text = registry.render_prometheus()
+    problems = validate_exposition(text)
+    if problems:
+        print("error: exposition failed self-validation:", file=out)
+        for problem in problems:
+            print(f"  {problem}", file=out)
+        return 2
+    print(text, file=out, end="")
+    return 0
 
 
 def _cmd_recover(args, out) -> int:
@@ -663,6 +828,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     try:
         if args.command == "traffic":
             return _cmd_traffic(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
+        if args.command == "metrics":
+            return _cmd_metrics(args, out)
         if args.command == "recover":
             return _cmd_recover(args, out)
         catalog = _load(args.catalogue)

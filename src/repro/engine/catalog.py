@@ -73,6 +73,7 @@ from repro.engine.parallel import (
     run_pairs_threaded,
 )
 from repro.exceptions import CapacityError
+from repro.obs.profile import ENGINE_PROFILE as _PROFILE
 from repro.perf.signature import canonical_key
 from repro.views.capacity import QueryCapacity
 from repro.views.closure import SearchLimits
@@ -400,17 +401,24 @@ class CatalogAnalyzer:
             for b in heads
             if a != b and (a, b) not in self._decisions
         ]
+        if pending and _PROFILE.enabled:
+            _PROFILE.catalog_decided(len(pending))
         self._decisions.update(self._run_pairs(pending))
         return representative
 
     def _broadcast_matrix(self, representative: Dict[str, str]) -> Dict[Pair, bool]:
         matrix: Dict[Pair, bool] = {}
+        broadcast = 0
         for a in self._views:
             for b in self._views:
                 if a == b:
                     continue
                 ra, rb = representative[a], representative[b]
+                if ra == rb or a != ra or b != rb:
+                    broadcast += 1
                 matrix[(a, b)] = True if ra == rb else self._decisions[(ra, rb)][0]
+        if broadcast and _PROFILE.enabled:
+            _PROFILE.catalog_broadcast(broadcast)
         return matrix
 
     def dominance_matrix(self) -> Dict[Pair, bool]:

@@ -1,0 +1,79 @@
+"""Observability: request tracing, metrics registry, engine profiling,
+and the live conformal-coverage drift monitor.
+
+The package is standalone — nothing here imports the engine or the
+service layer at module scope, so the low-level hot paths
+(``repro.templates.homomorphism``, ``repro.engine.catalog``) can import
+the profiler without cycles.
+"""
+
+from repro.obs.drift import (
+    DEFAULT_DRIFT_MIN_SAMPLES,
+    DEFAULT_DRIFT_SLACK,
+    DEFAULT_DRIFT_WINDOW,
+    CoverageMonitor,
+)
+from repro.obs.profile import ENGINE_PROFILE, EngineProfile
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_exposition,
+)
+from repro.obs.tracing import (
+    EDIT_CHAIN,
+    EDIT_CHAIN_JOURNALED,
+    NULL_TRACER,
+    READ_CHAIN,
+    STAGE_ADMISSION,
+    STAGE_COALESCED,
+    STAGE_COMPUTE,
+    STAGE_DISPATCH,
+    STAGE_JOURNAL,
+    STAGE_PUBLISH,
+    STAGE_QUEUE,
+    NullTracer,
+    Span,
+    Tracer,
+    check_spans,
+    dump_spans,
+    load_spans,
+    trace_breakdown,
+    verify_trace,
+)
+
+__all__ = [
+    "CoverageMonitor",
+    "DEFAULT_DRIFT_MIN_SAMPLES",
+    "DEFAULT_DRIFT_SLACK",
+    "DEFAULT_DRIFT_WINDOW",
+    "ENGINE_PROFILE",
+    "EngineProfile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "validate_exposition",
+    "EDIT_CHAIN",
+    "EDIT_CHAIN_JOURNALED",
+    "NULL_TRACER",
+    "READ_CHAIN",
+    "STAGE_ADMISSION",
+    "STAGE_COALESCED",
+    "STAGE_COMPUTE",
+    "STAGE_DISPATCH",
+    "STAGE_JOURNAL",
+    "STAGE_PUBLISH",
+    "STAGE_QUEUE",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "check_spans",
+    "dump_spans",
+    "load_spans",
+    "trace_breakdown",
+    "verify_trace",
+]

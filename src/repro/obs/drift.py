@@ -1,0 +1,122 @@
+"""Live conformal-coverage drift monitor.
+
+Split-conformal guarantees are exchangeability guarantees: the marginal
+coverage of the predicted service-time intervals holds only while
+calibration and serving samples are exchangeable.  PR 7's offline replay
+showed exactly how that fails — under backlog drift the *two-sided*
+empirical coverage sagged to ~0.74 while the lower bound (the refusal
+side) held at 1.0.  :class:`CoverageMonitor` computes the same two
+empirical quantities as ``verify_replay`` does offline, but online over
+a rolling window:
+
+* ``coverage``     — fraction of windowed outcomes with lo ≤ latency ≤ hi;
+* ``coverage_lo``  — fraction with latency ≥ lo (the refusal side).
+
+When the windowed two-sided coverage falls below
+``target − slack`` (with at least ``min_samples`` outcomes in the
+window) the monitor raises an alarm: a bounded event log records the
+transition and ``alarms`` counts transitions into the alarming state, so
+a flapping monitor is visible as a high alarm count rather than one
+sticky flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["CoverageMonitor", "DEFAULT_DRIFT_WINDOW", "DEFAULT_DRIFT_MIN_SAMPLES", "DEFAULT_DRIFT_SLACK"]
+
+DEFAULT_DRIFT_WINDOW = 128
+DEFAULT_DRIFT_MIN_SAMPLES = 32
+DEFAULT_DRIFT_SLACK = 0.1
+_MAX_EVENTS = 16
+
+
+class CoverageMonitor:
+    """Rolling-window empirical coverage with a threshold alarm."""
+
+    def __init__(
+        self,
+        target: float,
+        slack: float = DEFAULT_DRIFT_SLACK,
+        window: int = DEFAULT_DRIFT_WINDOW,
+        min_samples: int = DEFAULT_DRIFT_MIN_SAMPLES,
+    ) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError("coverage target must be in (0, 1)")
+        if window <= 0 or min_samples <= 0:
+            raise ValueError("window and min_samples must be positive")
+        self.target = target
+        self.slack = slack
+        self.threshold = max(0.0, target - slack)
+        self.window = window
+        self.min_samples = min(min_samples, window)
+        self._lock = threading.Lock()
+        self._outcomes: deque = deque(maxlen=window)  # (covered, lo_covered)
+        self._covered = 0
+        self._lo_covered = 0
+        self.alarming = False
+        self.alarms = 0
+        self.events: List[Dict[str, Any]] = []
+        self.total = 0
+
+    def observe(self, lo_s: float, hi_s: float, latency_s: float) -> Optional[Dict[str, Any]]:
+        """Record one served outcome against its stamped interval.
+
+        Returns the alarm event dict on a transition into the alarming
+        state, else ``None``.
+        """
+
+        lo_covered = latency_s >= lo_s - 1e-12
+        covered = lo_covered and latency_s <= hi_s + 1e-12
+        with self._lock:
+            if len(self._outcomes) == self._outcomes.maxlen:
+                old_covered, old_lo = self._outcomes[0]
+                self._covered -= old_covered
+                self._lo_covered -= old_lo
+            self._outcomes.append((covered, lo_covered))
+            self._covered += covered
+            self._lo_covered += lo_covered
+            self.total += 1
+            samples = len(self._outcomes)
+            if samples < self.min_samples:
+                return None
+            coverage = self._covered / samples
+            should_alarm = coverage < self.threshold
+            event = None
+            if should_alarm and not self.alarming:
+                self.alarms += 1
+                event = {
+                    "samples": samples,
+                    "coverage": coverage,
+                    "coverage_lo": self._lo_covered / samples,
+                    "threshold": self.threshold,
+                    "total_observed": self.total,
+                }
+                if len(self.events) < _MAX_EVENTS:
+                    self.events.append(event)
+            self.alarming = should_alarm
+            return event
+
+    def stats(self) -> Dict[str, Any]:
+        """Windowed coverage snapshot (``None`` coverages until warm)."""
+
+        with self._lock:
+            samples = len(self._outcomes)
+            warm = samples >= self.min_samples
+            return {
+                "window": self.window,
+                "min_samples": self.min_samples,
+                "samples": samples,
+                "total_observed": self.total,
+                "target": self.target,
+                "slack": self.slack,
+                "threshold": self.threshold,
+                "coverage": (self._covered / samples) if warm else None,
+                "coverage_lo": (self._lo_covered / samples) if warm else None,
+                "alarming": self.alarming,
+                "alarms": self.alarms,
+                "events": list(self.events),
+            }

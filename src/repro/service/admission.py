@@ -98,6 +98,12 @@ import threading
 from collections import deque
 from typing import Deque, Dict, Optional, Sequence, Tuple as PyTuple
 
+from repro.obs.drift import (
+    DEFAULT_DRIFT_MIN_SAMPLES,
+    DEFAULT_DRIFT_SLACK,
+    DEFAULT_DRIFT_WINDOW,
+    CoverageMonitor,
+)
 from repro.service.deadline import DeadlinePolicy, TIER_BASE
 
 __all__ = [
@@ -261,6 +267,11 @@ class AdmissionController:
     window / min_samples:
         Per-class calibration-window bound and the calibration threshold
         below which the learned gate passes through.
+    drift_slack / drift_window / drift_min_samples:
+        Knobs of the live coverage-drift monitor (see
+        :class:`repro.obs.drift.CoverageMonitor`): the alarm fires when
+        the rolling-window two-sided empirical coverage of stamped
+        intervals falls below ``coverage - drift_slack``.
     """
 
     def __init__(
@@ -269,6 +280,9 @@ class AdmissionController:
         coverage: float = 0.9,
         window: int = DEFAULT_WINDOW,
         min_samples: int = DEFAULT_MIN_SAMPLES,
+        drift_slack: float = DEFAULT_DRIFT_SLACK,
+        drift_window: int = DEFAULT_DRIFT_WINDOW,
+        drift_min_samples: int = DEFAULT_DRIFT_MIN_SAMPLES,
     ) -> None:
         if not 0.0 < coverage < 1.0:
             raise ValueError(f"coverage must be in (0, 1), got {coverage}")
@@ -282,6 +296,12 @@ class AdmissionController:
         self._min_samples = int(min_samples)
         self._classes: Dict[PyTuple, _ClassWindow] = {}
         self._lock = threading.Lock()
+        self.drift = CoverageMonitor(
+            self._coverage,
+            slack=drift_slack,
+            window=drift_window,
+            min_samples=drift_min_samples,
+        )
 
     # -------------------------------------------------------------- classing
     @property
@@ -323,6 +343,19 @@ class AdmissionController:
             window.observed += 1
             if censored:
                 window.censored += 1
+
+    def record_outcome(self, interval: "ConformalInterval", latency_s: float) -> None:
+        """Feed the drift monitor one served outcome against its interval.
+
+        Called by the service for every completed (``ok``/``partial``)
+        response that was stamped with a calibrated interval at
+        admission — the same population ``verify_replay`` scores offline.
+        Censored outcomes (sheds, refusals) are *not* fed: the offline
+        coverage definitions skip them too, and a censored latency is a
+        lower bound that would bias two-sided coverage downward.
+        """
+
+        self.drift.observe(interval.lo_s, interval.hi_s, latency_s)
 
     def interval_for(
         self, kind: str, deadline_s: Optional[float], n_views: int
@@ -424,3 +457,8 @@ class AdmissionController:
                 "samples": sum(w.observed for w in self._classes.values()),
                 "censored": sum(w.censored for w in self._classes.values()),
             }
+
+    def drift_stats(self) -> Dict[str, object]:
+        """The live coverage-drift monitor snapshot (see ``obs.drift``)."""
+
+        return self.drift.stats()

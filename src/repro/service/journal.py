@@ -907,7 +907,9 @@ def recover_service(
     second recovery is bit-identical.
     """
 
-    started = time.perf_counter()
+    # Service-layer convention: every duration comes off time.monotonic
+    # (the clock audit in tests/test_obs.py enforces it).
+    started = time.monotonic()
     try:
         scan = scan_journal(path)
     except FileNotFoundError:
@@ -1003,6 +1005,6 @@ def recover_service(
         truncated_tail_bytes=scan.tail_bytes,
         tail_reason=scan.tail_reason,
         journal_bytes=scan.total_bytes,
-        recovery_time_s=time.perf_counter() - started,
+        recovery_time_s=time.monotonic() - started,
         repaired=repaired,
     )

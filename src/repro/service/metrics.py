@@ -48,6 +48,24 @@ def percentile(values: Sequence[float], fraction: float) -> float:
 class ServiceMetrics:
     """A point-in-time snapshot of a :class:`CatalogService`'s counters.
 
+    **Reset semantics.**  Two families of numbers live here and they age
+    differently:
+
+    * *Monotonic totals* — every plain count (``served``, ``refused``,
+      ``coalesced``, ``edits``, the deadline/shed counters, the
+      subscription ledger, ``reuse_*``, ``warm_*``, the admission
+      counters) plus ``push_total_s`` and ``max_queue_depth``.  They
+      accumulate from service start and **never reset**; rates per
+      interval are computed by differencing two snapshots, exactly like
+      Prometheus counters.
+    * *Windowed samples* — the percentile fields (``latency_p50_s``/
+      ``latency_p95_s``, ``queue_wait_*``, ``push_p50_s``/``push_p95_s``)
+      are computed over bounded recent-sample windows and describe
+      *current* behaviour only.  ``CatalogService.metrics(reset_windows=
+      True)`` clears those windows after the snapshot so the next
+      snapshot's percentiles cover only the traffic in between; the
+      totals above are untouched by design.
+
     ``served`` counts completed answers (``ok`` plus ``partial``);
     ``refused`` counts explicit refusals; ``coalesced`` counts duplicate
     in-flight questions that shared an already-pending answer instead of
@@ -121,6 +139,13 @@ class ServiceMetrics:
     admission_refused: int = 0
     confidence_attached: int = 0
     admission_calibration: Dict[str, int] = field(default_factory=dict)
+    #: Live coverage-drift monitor snapshot
+    #: (:meth:`repro.obs.drift.CoverageMonitor.stats`): rolling-window
+    #: two-sided and lower-bound empirical coverage of the stamped
+    #: conformal intervals, the alarm threshold (``target - slack``), the
+    #: current ``alarming`` flag and the ``alarms`` transition count.
+    #: Coverages are ``None`` until the window holds ``min_samples``.
+    admission_drift: Dict[str, object] = field(default_factory=dict)
     #: :meth:`DeltaJournal.stats` of the attached journal — records, bytes,
     #: fsyncs, retries and the degraded-mode flags (``lagging``,
     #: ``lag_from_version``, ``crashed``); ``None`` when no journal is
@@ -213,6 +238,7 @@ class ServiceMetrics:
                 "refused_unmeetable": self.admission_refused,
                 "confidence_attached": self.confidence_attached,
                 "calibration": dict(self.admission_calibration),
+                "drift": dict(self.admission_drift),
             },
             "journal": dict(self.journal) if self.journal is not None else None,
             "cache": {

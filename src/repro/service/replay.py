@@ -44,6 +44,7 @@ from repro.engine.delta import (
     fold_core,
     fold_matrix,
 )
+from repro.obs.tracing import Tracer, verify_trace
 from repro.service.deadline import DeadlinePolicy
 from repro.service.journal import (
     DeltaJournal,
@@ -117,6 +118,7 @@ def run_traffic(
     cache_warm: bool = False,
     admission: str = "off",
     coverage: float = 0.9,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, object]:
     """The one verified traffic lane the CLI and benchmark harness share.
 
@@ -145,6 +147,13 @@ def run_traffic(
     the pre-admission behaviour bit for bit, and the verifier's
     admission-precision/coverage scoring simply reports ``None`` when the
     gate never fires.
+
+    ``tracer`` attaches a :class:`repro.obs.Tracer`: every request then
+    records one span per stage it passes, and the returned ``"trace"``
+    block carries the spans plus the :func:`repro.obs.verify_trace`
+    verdict (full stage chains whose durations tile each completed
+    response's latency).  ``None`` (default) leaves tracing disabled —
+    the zero-overhead path the benchmark gate measures.
     """
 
     specs = list(subscriber_specs) if subscriber_specs else []
@@ -162,13 +171,16 @@ def run_traffic(
             cache_warm=cache_warm,
             admission=admission,
             coverage=coverage,
+            tracer=tracer,
         ) as service:
             subscriptions = [
                 service.subscribe(spec.topics, buffer=spec.buffer) for spec in specs
             ]
-            started = time.perf_counter()
+            # The service-layer convention: all durations come off the
+            # monotonic clock (the service's own clock source).
+            started = time.monotonic()
             responses = await replay(service, events)
-            elapsed = time.perf_counter() - started
+            elapsed = time.monotonic() - started
             # Drain while the service is still open: every pushed event is
             # either here or counted superseded — the ledger the verifier
             # balances.  stats() snapshots after the drain, so pending == 0.
@@ -187,9 +199,19 @@ def run_traffic(
                 service.delta_log(),
                 records,
                 elapsed,
+                service.metrics_registry(),
             )
 
-    responses, metrics, history, delta_log, records, elapsed = asyncio.run(drive())
+    responses, metrics, history, delta_log, records, elapsed, registry = asyncio.run(
+        drive()
+    )
+    trace = None
+    if tracer is not None:
+        spans = tracer.spans()
+        trace = {
+            "spans": spans,
+            "verdict": verify_trace(responses, spans, journal=journal is not None),
+        }
     subscriptions = None
     if specs:
         subscriptions = {
@@ -205,6 +227,8 @@ def run_traffic(
         "verdict": verify_replay(history, events, responses, limits),
         "subscriptions": subscriptions,
         "journal": journal.stats() if journal is not None else None,
+        "trace": trace,
+        "registry": registry,
     }
 
 

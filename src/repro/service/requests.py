@@ -191,6 +191,9 @@ class ServiceResponse:
     predicted_hi_s: Optional[float] = None  # None = unbounded above
     #: Calibrated unmeetability confidence on partial/unknown answers.
     confidence: Optional[float] = None
+    #: Tracing correlation id (``None`` when the service tracer is off);
+    #: joins the response to its spans in a :class:`repro.obs.Tracer` dump.
+    trace_id: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -219,4 +222,5 @@ class ServiceResponse:
             "predicted_lo_s": self.predicted_lo_s,
             "predicted_hi_s": self.predicted_hi_s,
             "confidence": self.confidence,
+            "trace_id": self.trace_id,
         }

@@ -39,7 +39,7 @@ import heapq
 import itertools
 import math
 import threading
-from typing import Callable, List, Optional, Tuple as PyTuple
+from typing import Callable, Dict, List, Optional, Tuple as PyTuple
 
 __all__ = [
     "AdmissionScheduler",
@@ -131,6 +131,15 @@ class AdmissionScheduler:
 
     def qsize(self) -> int:
         return self._queue.qsize() if self._queue is not None else 0
+
+    def stats(self) -> Dict[str, object]:
+        """Queue-state snapshot for the service's metrics registry."""
+
+        return {
+            "scheduler": self.name,
+            "depth": self.qsize(),
+            "capacity": self._maxsize,
+        }
 
     def put_nowait(self, entry: ScheduledEntry) -> None:
         """Admit one entry; raises :class:`asyncio.QueueFull` when full."""

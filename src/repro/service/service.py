@@ -72,6 +72,19 @@ from typing import Callable, Deque, Dict, Hashable, Optional, Set
 from repro.engine.catalog import CatalogAnalyzer, ViewsInput
 from repro.engine.delta import TOPIC_VIEWS, CatalogDelta, CatalogSnapshot
 from repro.exceptions import ReproError
+from repro.obs.profile import ENGINE_PROFILE
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.tracing import (
+    NULL_TRACER,
+    STAGE_ADMISSION,
+    STAGE_COALESCED,
+    STAGE_COMPUTE,
+    STAGE_DISPATCH,
+    STAGE_JOURNAL,
+    STAGE_PUBLISH,
+    STAGE_QUEUE,
+    Tracer,
+)
 from repro.perf.cache import cache_stats
 from repro.relalg.ast import Expression
 from repro.service.admission import (
@@ -122,10 +135,30 @@ __all__ = ["CatalogService"]
 _LATENCY_WINDOW = 4096
 
 
-class _WorkItem:
-    __slots__ = ("request", "future", "enqueued", "key", "interval")
+class _TraceMarks:
+    """Per-request stage boundaries, allocated only when tracing is on.
 
-    def __init__(self, request, future, enqueued, key, interval=None):
+    All stamps come from the service's one injectable monotonic clock, so
+    the spans :meth:`CatalogService._emit_spans` derives from consecutive
+    marks tile the measured end-to-end latency exactly.  ``None`` marks
+    mean the request never reached that boundary (shed, refused early).
+    """
+
+    __slots__ = ("tid", "admitted", "dispatched", "compute_started", "diff_done", "journal_done")
+
+    def __init__(self, tid: int, admitted: float) -> None:
+        self.tid = tid
+        self.admitted = admitted
+        self.dispatched: Optional[float] = None
+        self.compute_started: Optional[float] = None
+        self.diff_done: Optional[float] = None
+        self.journal_done: Optional[float] = None
+
+
+class _WorkItem:
+    __slots__ = ("request", "future", "enqueued", "key", "interval", "trace")
+
+    def __init__(self, request, future, enqueued, key, interval=None, trace=None):
         self.request = request
         self.future = future
         self.enqueued = enqueued
@@ -134,6 +167,8 @@ class _WorkItem:
         # (conformal mode, deadlined reads only) — stamped onto the
         # response so the calibrator's empirical coverage is measurable.
         self.interval = interval
+        # _TraceMarks when the service tracer is enabled, else None.
+        self.trace = trace
 
 
 class CatalogService:
@@ -196,6 +231,18 @@ class CatalogService:
     coverage:
         The conformal coverage level of issued intervals (default 0.9);
         refusal precision is at least this by construction.
+    tracer:
+        An optional :class:`repro.obs.Tracer`.  When set, every request
+        records one span per stage it passes (admission → queue →
+        dispatch → compute for reads; admission → queue → compute →
+        journal → publish for edits), all stamped by the service clock so
+        a request's spans tile its reported ``latency_s`` exactly;
+        coalesced followers record a zero-length ``coalesced`` span
+        linking to their leader's trace.  ``None`` (the default)
+        installs the shared :data:`repro.obs.NULL_TRACER` and every
+        recording site is guarded by its ``enabled`` flag — the disabled
+        path is one attribute check, no allocation (gated by the
+        benchmark overhead lane).
     clock:
         Monotonic time source (injectable for tests).
 
@@ -216,6 +263,7 @@ class CatalogService:
         cache_warm: bool = False,
         admission: str = "off",
         coverage: float = 0.9,
+        tracer: Optional[Tracer] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
@@ -283,6 +331,29 @@ class CatalogService:
         self._admission_refused = 0
         self._confidence_attached = 0
         self._pool: Optional[OrderedPool] = None
+        # Observability (PR 8): the tracer (NULL_TRACER when off — every
+        # recording site is guarded by its ``enabled`` flag) and the
+        # metrics registry.  The three histograms are live-fed on the
+        # finish paths; everything else is refreshed from the live
+        # counters when metrics_registry() is exported.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._inflight_traces: Dict[Hashable, int] = {}
+        self._registry = MetricsRegistry()
+        self._h_latency = self._registry.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end latency of served (non-refused) requests",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._h_queue_wait = self._registry.histogram(
+            "repro_queue_wait_seconds",
+            "Admission-queue wait of every finished request",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._h_push = self._registry.histogram(
+            "repro_push_latency_seconds",
+            "Per-edit delta publish latency (diff + journal + fan-out)",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
         # Durability + cache warming (PR 6).
         self._journal = journal
         self._cache_warm = bool(cache_warm)
@@ -483,6 +554,17 @@ class CatalogService:
         key = request.coalesce_key(self._version)
         if key is not None and key in self._inflight:
             self._coalesced += 1
+            if self._tracer.enabled:
+                # Followers never get their own _WorkItem; a zero-length
+                # link span ties the follower's trace to the leader whose
+                # answer it rides.
+                self._tracer.record(
+                    self._tracer.new_trace(),
+                    STAGE_COALESCED,
+                    now,
+                    now,
+                    {"leader": self._inflight_traces.get(key, 0)},
+                )
             return await asyncio.shield(self._inflight[key])
         # The conformal admission gate sits ahead of the queue (and so
         # ahead of EDF): a deadlined read whose deadline cannot be met —
@@ -491,6 +573,7 @@ class CatalogService:
         # *here*, before it spends a queue slot or any wall-clock waiting.
         # The refusal is explicit and verdict-free; cold classes pass
         # through, so an uncalibrated service admits what "off" admits.
+        trace_id = self._tracer.new_trace() if self._tracer.enabled else 0
         interval: Optional[ConformalInterval] = None
         if (
             self._admission_mode == "conformal"
@@ -501,10 +584,23 @@ class CatalogService:
                 request.kind, request.deadline_s, len(self._analyzer.views)
             )
             if not decision.admit:
-                return self._refuse_unmeetable(request, decision)
+                if self._tracer.enabled:
+                    self._tracer.record(
+                        trace_id,
+                        STAGE_ADMISSION,
+                        now,
+                        self._clock(),
+                        {"verdict": "refuse_unmeetable", "mode": self._admission_mode},
+                    )
+                return self._refuse_unmeetable(request, decision, trace_id)
             interval = decision.interval
+        marks = None
+        if self._tracer.enabled:
+            # The admission span closes here: the gate has spoken and the
+            # request is about to take a queue slot.
+            marks = _TraceMarks(trace_id, self._clock())
         future = asyncio.get_running_loop().create_future()
-        item = _WorkItem(request, future, now, key, interval)
+        item = _WorkItem(request, future, now, key, interval, marks)
         # Edits are never shed — a catalog mutation must be applied, not
         # dropped because a deadline elapsed (a deadline on an edit only
         # feeds the response's miss accounting).  For *ordering* they carry
@@ -533,15 +629,31 @@ class CatalogService:
             self._sched.put_nowait(entry)
         except asyncio.QueueFull:
             self._refused += 1
+            if marks is not None:
+                self._tracer.record(
+                    marks.tid,
+                    STAGE_ADMISSION,
+                    now,
+                    self._clock(),
+                    {"verdict": "refuse_queue_full"},
+                )
             return ServiceResponse(
                 kind=request.kind,
                 status="refused",
                 reason=f"admission queue full ({self._queue_limit} pending)",
                 version=self._version,
+                trace_id=marks.tid if marks is not None else None,
             )
         if key is not None:
             self._inflight[key] = future
-            future.add_done_callback(lambda _f, k=key: self._inflight.pop(k, None))
+            if marks is not None:
+                self._inflight_traces[key] = marks.tid
+            future.add_done_callback(
+                lambda _f, k=key: (
+                    self._inflight.pop(k, None),
+                    self._inflight_traces.pop(k, None),
+                )
+            )
         self._max_queue_depth = max(self._max_queue_depth, self._sched.qsize())
         return await future
 
@@ -652,11 +764,27 @@ class CatalogService:
         )
 
     # -------------------------------------------------------------- metrics
-    def metrics(self) -> ServiceMetrics:
-        """A snapshot aggregating service counters with the memo-table stats."""
+    def metrics(self, reset_windows: bool = False) -> ServiceMetrics:
+        """A snapshot aggregating service counters with the memo-table stats.
+
+        Two families of numbers live in the snapshot (documented field by
+        field on :class:`ServiceMetrics`):
+
+        * **monotonic totals** (``served``, ``refused``, ``edits``,
+          ``push_total_s``, …) count from service start and never reset;
+        * **windowed samples** (the latency / queue-wait / push-latency
+          p50/p95, computed over the last ``_LATENCY_WINDOW`` samples)
+          track recent behaviour only.
+
+        ``reset_windows=True`` clears the three sample windows *after*
+        taking the snapshot, so the next snapshot's percentiles describe
+        only traffic served since this call — per-interval scraping
+        without disturbing any total.  The registry histograms
+        (:meth:`metrics_registry`) are cumulative and unaffected.
+        """
 
         uptime = self._clock() - self._started_at if self._started_at is not None else 0.0
-        return ServiceMetrics(
+        snapshot = ServiceMetrics(
             served=self._served,
             refused=self._refused,
             coalesced=self._coalesced,
@@ -695,9 +823,176 @@ class CatalogService:
             admission_refused=self._admission_refused,
             confidence_attached=self._confidence_attached,
             admission_calibration=self._admission.stats(),
+            admission_drift=self._admission.drift_stats(),
             journal=self._journal.stats() if self._journal is not None else None,
             cache=cache_stats(),
         )
+        if reset_windows:
+            self._latencies.clear()
+            self._queue_waits.clear()
+            self._push_latencies.clear()
+        return snapshot
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The service's metrics registry, refreshed from the live counters.
+
+        The three latency histograms are live-fed on the finish paths;
+        every counter and gauge here is refreshed collect-style from the
+        authoritative live counters of the service, scheduler,
+        subscription hub, journal, admission controller (including the
+        drift monitor), memo caches and engine profiler — the request hot
+        path pays nothing for them.  Render with
+        ``registry.render_prometheus()`` or ``registry.to_dict()``.
+        """
+
+        reg = self._registry
+        served = reg.counter("repro_requests_served_total", "Requests answered (ok/partial)")
+        served.set_total(self._served)
+        refused = reg.counter("repro_requests_refused_total", "Requests refused")
+        refused.set_total(self._refused)
+        reg.counter("repro_requests_coalesced_total", "Duplicate reads riding an in-flight leader").set_total(self._coalesced)
+        reg.counter("repro_edits_total", "Catalog edits committed").set_total(self._edits)
+        reg.counter("repro_deadlined_total", "Requests submitted with a deadline").set_total(self._deadlined)
+        misses = reg.counter(
+            "repro_deadline_misses_total",
+            "Deadline misses split by where the miss was decided",
+            labelnames=("phase",),
+        )
+        misses.set_total(self._missed_in_queue, phase="queue")
+        misses.set_total(self._missed_computing, phase="computing")
+        reg.counter("repro_shed_total", "Expired work shed before dispatch").set_total(self._shed)
+        sched_stats = (
+            self._sched.stats()
+            if self._sched is not None
+            else {"scheduler": self._scheduler_name, "depth": 0, "capacity": self._queue_limit}
+        )
+        reg.gauge(
+            "repro_queue_depth",
+            "Admission-queue depth right now",
+            labelnames=("scheduler",),
+        ).set(sched_stats["depth"], scheduler=str(sched_stats["scheduler"]))
+        reg.gauge("repro_queue_capacity", "Admission-queue bound").set(sched_stats["capacity"])
+        reg.gauge("repro_queue_depth_max", "High-water admission-queue depth").set(self._max_queue_depth)
+        reg.gauge("repro_catalog_version", "Current catalog version").set(self._version)
+        reg.gauge("repro_uptime_seconds", "Seconds since the service started").set(
+            self._clock() - self._started_at if self._started_at is not None else 0.0
+        )
+        reuse = reg.counter(
+            "repro_edit_decisions_total",
+            "Representative pairs per edit, reused vs newly decided",
+            labelnames=("outcome",),
+        )
+        reuse.set_total(self._reuse_reused, outcome="reused")
+        reuse.set_total(max(0, self._reuse_needed - self._reuse_reused), outcome="decided")
+        # Subscription hub.
+        reg.gauge("repro_subscribers", "Live subscriptions").set(self._hub.subscriber_count)
+        deltas = reg.counter(
+            "repro_deltas_total",
+            "Per-edit delta fan-out accounting",
+            labelnames=("event",),
+        )
+        deltas.set_total(self._hub.published, event="published")
+        deltas.set_total(self._hub.delivered, event="delivered")
+        deltas.set_total(self._hub.filtered, event="filtered")
+        deltas.set_total(self._hub.superseded, event="superseded")
+        reg.counter("repro_resyncs_total", "Snapshot resyncs issued to subscribers").set_total(self._hub.resyncs)
+        reg.gauge(
+            "repro_subscription_max_pending",
+            "Deepest per-subscriber event backlog (backpressure gauge)",
+        ).set(self._hub.stats()["max_pending"])
+        # Cache warming.
+        warm = reg.counter(
+            "repro_cache_warm_total",
+            "Delta-driven view-report prefetches and the reads that hit them",
+            labelnames=("event",),
+        )
+        warm.set_total(self._warm_prefetches, event="prefetch")
+        warm.set_total(self._warm_hits, event="hit")
+        # Journal.
+        if self._journal is not None:
+            stats = self._journal.stats()
+            jrec = reg.counter(
+                "repro_journal_records_total",
+                "Journal records appended by type",
+                labelnames=("type",),
+            )
+            jrec.set_total(stats["delta_records"], type="delta")
+            jrec.set_total(stats["snapshot_records"], type="snapshot")
+            reg.counter("repro_journal_bytes_total", "Bytes appended to the journal").set_total(stats["bytes"])
+            reg.counter("repro_journal_fsyncs_total", "Journal fsync calls").set_total(stats["fsyncs"])
+            reg.counter("repro_journal_retries_total", "Journal write retries").set_total(stats["retries"])
+            reg.counter("repro_journal_write_errors_total", "Journal write errors").set_total(stats["write_errors"])
+            reg.gauge("repro_journal_lagging", "1 while the journal is behind the catalog").set(int(stats["lagging"]))
+            reg.gauge("repro_journal_crashed", "1 after a simulated crash froze the journal").set(int(stats["crashed"]))
+        # Admission controller + drift monitor.
+        adm = self._admission.stats()
+        reg.gauge("repro_admission_classes", "Distinct request classes seen").set(adm["classes"])
+        reg.gauge("repro_admission_calibrated_classes", "Classes past min_samples").set(adm["calibrated"])
+        samples = reg.counter(
+            "repro_admission_samples_total",
+            "Service-time samples observed by the calibrator",
+            labelnames=("kind",),
+        )
+        samples.set_total(adm["samples"] - adm["censored"], kind="observed")
+        samples.set_total(adm["censored"], kind="censored")
+        reg.counter("repro_admission_refused_total", "Reads refused as provably unmeetable").set_total(self._admission_refused)
+        reg.counter("repro_confidence_attached_total", "Partial answers stamped with calibrated confidence").set_total(self._confidence_attached)
+        drift = self._admission.drift_stats()
+        reg.gauge(
+            "repro_admission_windowed_coverage",
+            "Rolling-window two-sided empirical coverage of stamped intervals (-1 until warm)",
+        ).set(-1.0 if drift["coverage"] is None else drift["coverage"])
+        reg.gauge(
+            "repro_admission_windowed_coverage_lo",
+            "Rolling-window lower-bound coverage (refusal side; -1 until warm)",
+        ).set(-1.0 if drift["coverage_lo"] is None else drift["coverage_lo"])
+        reg.gauge("repro_admission_coverage_threshold", "Alarm threshold: coverage target minus slack").set(drift["threshold"])
+        reg.gauge("repro_admission_coverage_alarm", "1 while windowed coverage sits below the threshold").set(int(drift["alarming"]))
+        reg.counter("repro_admission_coverage_alarms_total", "Transitions into the coverage alarm state").set_total(drift["alarms"])
+        # Memo caches.
+        cache = reg.counter(
+            "repro_cache_events_total",
+            "Memo-table hits/misses/evictions per cache",
+            labelnames=("cache", "event"),
+        )
+        cache_size = reg.gauge("repro_cache_entries", "Memo-table entries", labelnames=("cache",))
+        for name, stats in cache_stats().items():
+            cache.set_total(stats.hits, cache=name, event="hit")
+            cache.set_total(stats.misses, cache=name, event="miss")
+            cache.set_total(stats.evictions, cache=name, event="eviction")
+            cache_size.set(stats.size, cache=name)
+        # Engine profiler (zero until ENGINE_PROFILE.enable()).
+        prof = ENGINE_PROFILE.snapshot()
+        reg.gauge("repro_engine_profile_enabled", "1 while engine profiling hooks are live").set(int(prof["enabled"]))
+        reg.counter("repro_hom_search_nodes_total", "Homomorphism search nodes expanded").set_total(prof["hom_nodes"])
+        reg.counter("repro_hom_searches_total", "Uncached homomorphism searches run").set_total(prof["hom_searches"])
+        lookups = reg.counter(
+            "repro_hom_memo_lookups_total",
+            "Memo probes by tier and outcome",
+            labelnames=("tier", "outcome"),
+        )
+        for key, value in prof["hom_lookups"].items():
+            tier, outcome = key.rsplit("_", 1)
+            lookups.set_total(value, tier=tier, outcome=outcome)
+        per_class = reg.counter(
+            "repro_hom_memo_class_lookups_total",
+            "Signature-tier memo probes attributed per signature class",
+            labelnames=("cls", "outcome"),
+        )
+        for label, bucket in prof["by_class"].items():
+            per_class.set_total(bucket["hit"], cls=label, outcome="hit")
+            per_class.set_total(bucket["miss"], cls=label, outcome="miss")
+        pairs = reg.counter(
+            "repro_catalog_pairs_total",
+            "Catalog matrix entries, decided by search vs broadcast by class",
+            labelnames=("source",),
+        )
+        pairs.set_total(prof["catalog_pairs_decided"], source="decided")
+        pairs.set_total(prof["catalog_pairs_broadcast"], source="broadcast")
+        # Tracer.
+        reg.gauge("repro_trace_spans", "Spans currently buffered by the tracer").set(len(self._tracer))
+        reg.counter("repro_trace_spans_dropped_total", "Spans evicted from the ring buffer").set_total(self._tracer.dropped)
+        return reg
 
     # ------------------------------------------------------------ dispatcher
     async def _dispatch(self, sched: AdmissionScheduler) -> None:
@@ -737,6 +1032,10 @@ class CatalogService:
                     shed=True,
                 )
                 continue
+            if item.trace is not None:
+                # The queue span closes here: the request survived the
+                # shed check and is being handed to its serving path.
+                item.trace.dispatched = now
             if item.request.is_edit:
                 # Edits serialize: applied inline, one at a time.  Reads
                 # dispatched earlier keep running on the analyzer they
@@ -763,7 +1062,10 @@ class CatalogService:
             item.future.set_result(response)
 
     def _refuse_unmeetable(
-        self, request: ServiceRequest, decision: AdmissionDecision
+        self,
+        request: ServiceRequest,
+        decision: AdmissionDecision,
+        trace_id: int = 0,
     ) -> ServiceResponse:
         """The admission gate's refusal: instant, explicit, verdict-free.
 
@@ -796,6 +1098,7 @@ class CatalogService:
                 else interval.hi_s
             ),
             confidence=confidence,
+            trace_id=trace_id if trace_id else None,
         )
 
     def _finish(
@@ -814,6 +1117,14 @@ class CatalogService:
         now = self._clock()
         latency = max(0.0, now - item.enqueued)
         waited = latency if queue_wait is None else max(0.0, queue_wait)
+        self._h_queue_wait.observe(waited)
+        if status != "refused":
+            self._h_latency.observe(latency)
+            if item.interval is not None and not item.request.is_edit:
+                # Feed the live coverage-drift monitor: every completed
+                # response whose interval was stamped at admission — the
+                # same population verify_replay scores offline.
+                self._admission.record_outcome(item.interval, latency)
         deadline = item.request.deadline_s
         missed = deadline is not None and latency > deadline
         if deadline is not None:
@@ -870,6 +1181,8 @@ class CatalogService:
             )
             if confidence is not None:
                 self._confidence_attached += 1
+        if item.trace is not None:
+            self._emit_spans(item, now, status, tier, shed)
         interval = item.interval
         self._resolve(
             item,
@@ -891,7 +1204,58 @@ class CatalogService:
                     else interval.hi_s
                 ),
                 confidence=confidence,
+                trace_id=item.trace.tid if item.trace is not None else None,
             ),
+        )
+
+    def _emit_spans(
+        self, item: _WorkItem, now: float, status: str, tier: str, shed: bool
+    ) -> None:
+        """Record the request's stage spans from its boundary marks.
+
+        Consecutive marks share their boundary stamp, so the emitted
+        spans tile ``[item.enqueued, now]`` — exactly the interval the
+        response reports as ``latency_s``.  A ``None`` mark means the
+        request never reached that boundary (shed in the queue, refused
+        at serve entry, edit failed before the diff): the last stage it
+        did reach is extended to ``now`` and the chain stops there.
+        """
+
+        marks = item.trace
+        record = self._tracer.record
+        tid = marks.tid
+        record(tid, STAGE_ADMISSION, item.enqueued, marks.admitted, {"verdict": "admit"})
+        if marks.dispatched is None:
+            record(
+                tid,
+                STAGE_QUEUE,
+                marks.admitted,
+                now,
+                {"shed": True} if shed else {"status": status},
+            )
+            return
+        record(tid, STAGE_QUEUE, marks.admitted, marks.dispatched)
+        if item.request.is_edit:
+            if marks.diff_done is None:
+                record(tid, STAGE_COMPUTE, marks.dispatched, now, {"status": status})
+                return
+            record(tid, STAGE_COMPUTE, marks.dispatched, marks.diff_done, {"status": status})
+            previous = marks.diff_done
+            if marks.journal_done is not None:
+                record(tid, STAGE_JOURNAL, previous, marks.journal_done)
+                previous = marks.journal_done
+            record(tid, STAGE_PUBLISH, previous, now, {"status": status})
+            return
+        if marks.compute_started is None:
+            record(tid, STAGE_DISPATCH, marks.dispatched, now, {"status": status})
+            return
+        record(tid, STAGE_DISPATCH, marks.dispatched, marks.compute_started)
+        record(
+            tid,
+            STAGE_COMPUTE,
+            marks.compute_started,
+            now,
+            {"tier": tier, "status": status},
         )
 
     # ------------------------------------------------------------ edit path
@@ -951,8 +1315,14 @@ class CatalogService:
             delta = derived.diff(previous, version=new_version)
         except Exception as error:  # noqa: BLE001 — the dispatcher must survive
             delta_error = error
+        if item.trace is not None:
+            # The edit's compute span (executor work + diff — both engine
+            # work) closes here; journal and publish tile after it.
+            item.trace.diff_done = self._clock()
         if self._journal is not None:
             self._journal_edit(request, derived, new_version, delta)
+            if item.trace is not None:
+                item.trace.journal_done = self._clock()
         self._analyzer = derived
         self._version = new_version
         self._edits += 1
@@ -976,6 +1346,7 @@ class CatalogService:
         push_elapsed = max(0.0, self._clock() - push_started)
         self._push_latencies.append(push_elapsed)
         self._push_total_s += push_elapsed
+        self._h_push.observe(push_elapsed)
         self._finish(
             item,
             status="ok",
@@ -1116,12 +1487,20 @@ class CatalogService:
             and self._warmed.get(request.subject) == version
         ):
             self._warm_hits += 1
+        marks = item.trace
+        if marks is None:
+            job = lambda: self._answer(analyzer, request, tier, limits)  # noqa: E731
+        else:
+            # The worker thread stamps the moment compute actually starts
+            # (closing the dispatch span) with the same service clock —
+            # time.monotonic is cross-thread consistent.
+            def job(marks=marks):
+                marks.compute_started = self._clock()
+                return self._answer(analyzer, request, tier, limits)
+
         try:
             status, answer, reason = await asyncio.wrap_future(
-                self._pool.submit(
-                    order_key,
-                    lambda: self._answer(analyzer, request, tier, limits),
-                )
+                self._pool.submit(order_key, job)
             )
         except ReproError as error:
             self._finish(

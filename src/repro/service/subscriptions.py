@@ -604,4 +604,10 @@ class SubscriptionHub:
             "resyncs_catchup": self.resyncs_catchup,
             "resyncs_forced": self.resyncs_forced,
             "superseded": self.superseded,
+            # Deepest per-subscriber backlog right now — the backpressure
+            # gauge the metrics registry exports: a subscriber nearing its
+            # buffer bound is about to cost an overflow resync.
+            "max_pending": max(
+                (sub.pending for sub in self._subs.values()), default=0
+            ),
         }

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple as PyTuple
 
+from repro.obs.profile import ENGINE_PROFILE as _PROFILE
 from repro.perf.cache import LRUCache, caches_enabled
 from repro.perf.index import target_index
 from repro.relational.attributes import DistinguishedSymbol, Symbol
@@ -154,6 +155,8 @@ def _iter_maps(
         the chosen row's branches.
         """
 
+        if _PROFILE.enabled:
+            _PROFILE.hom_node()
         best_row = None
         best_count = -1
         for row in remaining:
@@ -252,20 +255,30 @@ def has_homomorphism(source: Template, target: Template) -> bool:
     """
 
     if not caches_enabled():
+        if _PROFILE.enabled:
+            _PROFILE.hom_search()
         return _has_homomorphism_uncached(source, target)
+    profiling = _PROFILE.enabled
     exact_key = (source, target)
     found, cached = _HOM_CACHE.lookup(exact_key)
+    if profiling:
+        _PROFILE.hom_lookup("exact", found)
     if found:
         return cached
     signature_key = None
-    if len(source) + len(target) >= _SIGNATURE_MIN_ROWS:
+    rows = len(source) + len(target)
+    if rows >= _SIGNATURE_MIN_ROWS:
         from repro.perf.signature import canonical_key
 
         signature_key = (canonical_key(source), canonical_key(target))
         found, cached = _HOM_CACHE.lookup(signature_key)
+        if profiling:
+            _PROFILE.hom_lookup("signature", found, class_key=signature_key, rows=rows)
         if found:
             _HOM_CACHE.put(exact_key, cached)
             return cached
+    if profiling:
+        _PROFILE.hom_search()
     result = _has_homomorphism_uncached(source, target)
     _HOM_CACHE.put(exact_key, result)
     if signature_key is not None:

@@ -1,0 +1,629 @@
+"""Observability: span tracing, the metrics registry, the drift monitor.
+
+The contract under test, mirroring ``src/repro/obs``:
+
+* every completed request in a traced run yields exactly one span per
+  stage of its chain (reads: admission → queue → dispatch → compute;
+  edits: admission → queue → compute [→ journal] → publish), and those
+  spans *tile* the measured end-to-end latency;
+* the disabled tracer (``NULL_TRACER``) is a single attribute check with
+  zero allocation on the hot path;
+* the metrics registry renders valid Prometheus text exposition 0.0.4
+  (self-checked by ``validate_exposition``) and JSON that round-trips;
+* the live conformal-drift monitor alarms on a seeded overload run where
+  two-sided coverage sags (PR 7's exchangeability caveat, now online)
+  and stays quiet on a calm exchangeable run;
+* service-layer durations all come off ``time.monotonic()`` — the clock
+  audit scans the sources for banned timing calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import re
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    EDIT_CHAIN_JOURNALED,
+    ENGINE_PROFILE,
+    NULL_TRACER,
+    READ_CHAIN,
+    CoverageMonitor,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    check_spans,
+    dump_spans,
+    load_spans,
+    trace_breakdown,
+    validate_exposition,
+    verify_trace,
+)
+from repro.service import (
+    OVERLOAD_POLICY,
+    CatalogService,
+    DeltaJournal,
+    run_traffic,
+)
+from repro.service.replay import request_from_event
+from repro.service.requests import EDIT_KINDS
+from repro.workloads import (
+    SchemaSpec,
+    overload_mix,
+    random_schema,
+    traffic_mix,
+    view_catalog,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _fixture(seed=43):
+    schema = random_schema(
+        SchemaSpec(relations=4, arity=2, universe_size=5), seed=seed
+    )
+    catalog = view_catalog(
+        schema, classes=3, copies_per_class=2, members=2, atoms_per_query=2,
+        seed=seed,
+    )
+    return schema, catalog
+
+
+# --------------------------------------------------------------------- tracer
+class TestTracer:
+    def test_ids_are_unique_and_one_based(self):
+        tracer = Tracer()
+        assert [tracer.new_trace() for _ in range(3)] == [1, 2, 3]
+
+    def test_ring_bound_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(6):
+            tracer.record(i, "compute", 0.0, 1.0)
+        assert len(tracer) == 4
+        assert tracer.dropped == 2
+        assert [s.trace_id for s in tracer.spans()] == [2, 3, 4, 5]
+
+    def test_invalid_capacity_refused(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_dump_load_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1, "admission", 0.5, 0.75, {"verdict": "admit"})
+        tracer.record(1, "queue", 0.75, 1.25)
+        path = str(tmp_path / "spans.jsonl")
+        assert tracer.dump(path) == 2
+        loaded = load_spans(path)
+        assert [s.to_dict() for s in loaded] == [s.to_dict() for s in tracer.spans()]
+        assert loaded[0].attrs == {"verdict": "admit"}
+        assert loaded[1].duration_s == pytest.approx(0.5)
+
+    def test_check_spans_flags_structural_problems(self):
+        bad = [
+            Span(1, "warp", 0.0, 1.0),          # unknown stage
+            Span(2, "compute", 2.0, 1.0),        # negative duration
+            Span(3, "queue", 0.0, 1.0),
+            Span(3, "compute", 0.5, 1.5),        # overlaps queue
+        ]
+        problems = check_spans(bad)
+        assert len(problems) == 3
+        assert any("unknown stage" in p for p in problems)
+        assert any("negative" in p for p in problems)
+        assert any("overlaps" in p for p in problems)
+
+    def test_breakdown_summarises_per_stage(self):
+        spans = [Span(1, "queue", 0.0, 0.2), Span(2, "queue", 0.0, 0.4)]
+        stats = trace_breakdown(spans)["queue"]
+        assert stats["count"] == 2
+        assert stats["total_s"] == pytest.approx(0.6)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.new_trace() == 0
+        NULL_TRACER.record(1, "compute", 0.0, 1.0)
+        assert len(NULL_TRACER) == 0 and NULL_TRACER.spans() == []
+
+    def test_guarded_hot_path_allocates_nothing(self):
+        # The call-site pattern used throughout the service: one attribute
+        # check, no record() call, no span/marks objects.  tracemalloc over
+        # 10k iterations must stay under 1 KB (interpreter noise only).
+        tracer = NULL_TRACER
+        seq = list(range(10000))
+
+        def hot():
+            for i in seq:
+                if tracer.enabled:
+                    tracer.record(i, "compute", 0.0, 1.0)
+
+        hot()  # warm any lazy interpreter state
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        hot()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grown = sum(
+            stat.size_diff for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+        )
+        assert grown < 1024
+
+    def test_untraced_service_stamps_no_trace_ids(self):
+        schema, catalog = _fixture()
+        events = overload_mix(schema, catalog, requests=40, seed=43)
+        lane = run_traffic(catalog, events, jobs=2, policy=OVERLOAD_POLICY)
+        assert lane["trace"] is None
+        assert all(r.trace_id is None for r in lane["responses"])
+
+
+# ------------------------------------------------------------------- registry
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_events_total", "Events", labelnames=("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3 and c.value(kind="b") == 1
+        g = reg.gauge("repro_depth", "Depth")
+        g.set(7)
+        assert g.value() == 7
+        h = reg.histogram("repro_lat_seconds", "Latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        snap = h.snapshot()[()]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+        # Cumulative bucket counts: le=0.1 → 1, le=1.0 → 2 (+Inf is count).
+        assert list(snap["buckets"].values()) == [1, 2]
+
+    def test_register_is_idempotent_but_shape_checked(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "X")
+        assert reg.counter("repro_x_total", "X") is a
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total", "X")
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total", "X", labelnames=("kind",))
+
+    def test_set_total_never_regresses(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_y_total", "Y")
+        c.set_total(5)
+        c.set_total(3)  # collect-style refresh must be monotonic
+        assert c.value() == 5
+
+    def test_exposition_is_valid(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", "A", labelnames=("k",)).inc(k="v1")
+        reg.gauge("repro_b", "B").set(1.5)
+        h = reg.histogram("repro_c_seconds", "C", buckets=(0.1, 1.0))
+        h.observe(0.2)
+        text = reg.render_prometheus()
+        assert validate_exposition(text) == []
+        assert "# HELP repro_a_total A" in text
+        assert 'repro_a_total{k="v1"} 1' in text
+        assert 'repro_c_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_validate_exposition_catches_planted_faults(self):
+        no_newline = "# HELP repro_x X\n# TYPE repro_x gauge\nrepro_x 1"
+        assert any("newline" in p for p in validate_exposition(no_newline))
+        dup = (
+            "# HELP repro_d_total D\n# TYPE repro_d_total counter\n"
+            "repro_d_total 1\nrepro_d_total 2\n"
+        )
+        assert any("duplicate" in p for p in validate_exposition(dup))
+        untyped = "repro_mystery 1\n"
+        assert validate_exposition(untyped) != []
+        noncumulative = (
+            "# HELP repro_h_seconds H\n# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="0.1"} 5\n'
+            'repro_h_seconds_bucket{le="+Inf"} 3\n'
+            "repro_h_seconds_sum 1\nrepro_h_seconds_count 3\n"
+        )
+        assert any("cumulative" in p for p in validate_exposition(noncumulative))
+
+    def test_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", "A", labelnames=("k",)).inc(k="v")
+        reg.histogram("repro_c_seconds", "C", buckets=(0.5,)).observe(0.1)
+        assert json.loads(reg.render_json()) == json.loads(
+            json.dumps(reg.to_dict())
+        )
+
+    def test_service_registry_exposition_is_valid(self, tmp_path):
+        schema, catalog = _fixture()
+        journal = DeltaJournal(str(tmp_path / "j.jsonl"))
+        events = traffic_mix(
+            schema, catalog, requests=60, edit_rate=0.2, seed=43, deadline_s=5.0
+        )
+        lane = run_traffic(
+            catalog, events, jobs=2, journal=journal, admission="conformal",
+            tracer=Tracer(),
+        )
+        registry = lane["registry"]
+        text = registry.render_prometheus()
+        assert validate_exposition(text) == []
+        names = {f.name for f in registry.families()}
+        # One spot check per feeding subsystem.
+        for expected in (
+            "repro_requests_served_total",
+            "repro_request_latency_seconds",
+            "repro_queue_depth",
+            "repro_deltas_total",
+            "repro_journal_records_total",
+            "repro_admission_windowed_coverage",
+            "repro_trace_spans",
+        ):
+            assert expected in names, expected
+
+
+# ------------------------------------------------------------- traced traffic
+class TestTracedTraffic:
+    def test_overload_reads_have_full_chains_tiling_latency(self):
+        schema, catalog = _fixture()
+        events = overload_mix(schema, catalog, requests=120, seed=43)
+        lane = run_traffic(
+            catalog, events, jobs=2, policy=OVERLOAD_POLICY, tracer=Tracer()
+        )
+        verdict = lane["trace"]["verdict"]
+        assert verdict["checked"] > 0
+        assert verdict["complete_chains"] == verdict["checked"]
+        assert verdict["mismatches"] == []
+        assert verdict["structural_problems"] == []
+        # Every coalesced follower left a zero-length link to its leader.
+        assert verdict["coalesced_links"] == lane["metrics"].to_dict()["coalesced"]
+        groups = {}
+        for span in lane["trace"]["spans"]:
+            groups.setdefault(span.trace_id, []).append(span.stage)
+        completed = {
+            r.trace_id for r in lane["responses"]
+            if r.status in ("ok", "partial") and not r.kind in EDIT_KINDS
+        }
+        for tid in completed:
+            stages = tuple(s for s in groups[tid] if s != "coalesced")
+            assert stages == READ_CHAIN
+
+    def test_journaled_edits_have_journal_stage(self, tmp_path):
+        schema, catalog = _fixture()
+        journal = DeltaJournal(str(tmp_path / "j.jsonl"))
+        events = traffic_mix(
+            schema, catalog, requests=60, edit_rate=0.3, seed=7, deadline_s=5.0
+        )
+        lane = run_traffic(
+            catalog, events, jobs=2, journal=journal, tracer=Tracer()
+        )
+        verdict = lane["trace"]["verdict"]
+        assert verdict["mismatches"] == [] and verdict["structural_problems"] == []
+        groups = {}
+        for span in lane["trace"]["spans"]:
+            groups.setdefault(span.trace_id, []).append(span.stage)
+        edit_ids = [
+            r.trace_id for r in lane["responses"]
+            if r.kind in EDIT_KINDS and r.ok
+        ]
+        assert edit_ids, "mix produced no applied edits"
+        for tid in edit_ids:
+            assert tuple(groups[tid]) == EDIT_CHAIN_JOURNALED
+
+    def test_verify_trace_flags_missing_stage_and_bad_sum(self):
+        schema, catalog = _fixture()
+        events = overload_mix(schema, catalog, requests=40, seed=43)
+        lane = run_traffic(
+            catalog, events, jobs=2, policy=OVERLOAD_POLICY, tracer=Tracer()
+        )
+        spans = lane["trace"]["spans"]
+        responses = lane["responses"]
+        completed = [r for r in responses if r.status in ("ok", "partial")]
+        victim = completed[0].trace_id
+        # Drop the victim's compute span: its chain is now incomplete.
+        pruned = [
+            s for s in spans
+            if not (s.trace_id == victim and s.stage == "compute")
+        ]
+        verdict = verify_trace(responses, pruned)
+        assert any(
+            m["trace_id"] == victim and m["problem"] == "stage chain"
+            for m in verdict["mismatches"]
+        )
+        # Stretch one span far past the latency: the sum check trips.
+        stretched = [
+            Span(s.trace_id, s.stage, s.start_s, s.end_s + 10.0, s.attrs)
+            if s.trace_id == victim and s.stage == "queue"
+            else s
+            for s in spans
+        ]
+        verdict = verify_trace(responses, stretched)
+        assert any(
+            m["trace_id"] == victim and m["problem"] == "duration sum"
+            for m in verdict["mismatches"]
+        )
+
+
+# --------------------------------------------------------------- drift monitor
+class TestDriftMonitor:
+    def test_warmup_then_alarm_then_recovery(self):
+        monitor = CoverageMonitor(0.9, slack=0.1, window=16, min_samples=8)
+        assert monitor.observe(0.0, 1.0, 0.5) is None  # covered, cold
+        for _ in range(7):
+            monitor.observe(0.0, 1.0, 0.5)
+        stats = monitor.stats()
+        assert stats["coverage"] == 1.0 and not stats["alarming"]
+        # Drift: latencies blow past every upper bound.
+        event = None
+        for _ in range(12):
+            event = monitor.observe(0.0, 1.0, 5.0) or event
+        assert event is not None and event["coverage"] < event["threshold"]
+        stats = monitor.stats()
+        assert stats["alarming"] and stats["alarms"] == 1
+        assert stats["coverage_lo"] == 1.0  # refusal side still holds
+        # Re-entering coverage clears the alarm without re-counting it.
+        for _ in range(16):
+            monitor.observe(0.0, 10.0, 0.5)
+        stats = monitor.stats()
+        assert not stats["alarming"] and stats["alarms"] == 1
+
+    def test_below_min_samples_reports_none(self):
+        monitor = CoverageMonitor(0.9, min_samples=32)
+        for _ in range(10):
+            monitor.observe(0.0, 1.0, 5.0)  # all uncovered, still warming
+        stats = monitor.stats()
+        assert stats["coverage"] is None and not stats["alarming"]
+
+    def test_invalid_parameters_refused(self):
+        with pytest.raises(ValueError):
+            CoverageMonitor(1.5)
+        with pytest.raises(ValueError):
+            CoverageMonitor(0.9, window=0)
+        with pytest.raises(ValueError):
+            CoverageMonitor(0.9, min_samples=0)
+
+    def test_overload_run_alarms_calm_run_stays_quiet(self):
+        from repro.perf import clear_caches
+
+        schema, catalog = _fixture()
+        # Overload: backlog drift breaks exchangeability — two-sided
+        # coverage sags below target - slack while the lower bound holds
+        # (PR 7's offline caveat, now caught live).  Both lanes start from
+        # cold memo tables so the service-time distribution each calibrates
+        # against is its own, not an earlier test's leftovers.
+        clear_caches()
+        events = overload_mix(schema, catalog, requests=600, seed=43)
+        lane = run_traffic(
+            catalog, events, jobs=2, scheduler="edf", policy=OVERLOAD_POLICY,
+            admission="conformal",
+        )
+        drift = lane["metrics"].to_dict()["admission"]["drift"]
+        assert drift["samples"] >= drift["min_samples"]
+        assert drift["alarms"] >= 1
+        assert drift["coverage"] < drift["threshold"]
+        assert drift["coverage_lo"] == pytest.approx(1.0)
+        assert drift["events"], "alarm left no event record"
+        # The alarm is visible in the exported registry too.
+        reg = {f.name: f for f in lane["registry"].families()}
+        alarms = reg["repro_admission_coverage_alarms_total"].series()
+        assert list(alarms.values())[0] >= 1
+        # Calm: the same questions driven *closed-loop* (each read awaited
+        # before the next submits), loose deadlines, no edits (edits reset
+        # the calibration windows).  No backlog ramp → exchangeable service
+        # times → warm monitor, zero alarms.
+        clear_caches()
+        calm_events = traffic_mix(
+            schema, catalog, requests=300, edit_rate=0.0, seed=43,
+            deadline_s=5.0,
+        )
+
+        async def closed_loop():
+            async with CatalogService(
+                catalog, jobs=2, admission="conformal"
+            ) as service:
+                for event in calm_events:
+                    await service.submit(request_from_event(event))
+                return service.metrics()
+
+        calm_drift = asyncio.run(closed_loop()).to_dict()["admission"]["drift"]
+        assert calm_drift["samples"] >= calm_drift["min_samples"]
+        assert calm_drift["alarms"] == 0 and not calm_drift["alarming"]
+        assert calm_drift["coverage"] >= calm_drift["threshold"]
+
+
+# --------------------------------------------------------------- engine hooks
+class TestEngineProfile:
+    def test_disabled_by_default_and_counts_when_enabled(self):
+        schema, catalog = _fixture()
+        assert ENGINE_PROFILE.enabled is False
+        ENGINE_PROFILE.enable()
+        try:
+            events = traffic_mix(
+                schema, catalog, requests=30, edit_rate=0.0, seed=3
+            )
+            run_traffic(catalog, events, jobs=1)
+            snap = ENGINE_PROFILE.snapshot()
+        finally:
+            ENGINE_PROFILE.disable()
+        assert snap["hom_nodes"] > 0
+        lookups = snap["hom_lookups"]
+        assert sum(lookups.values()) > 0
+        assert snap["catalog_pairs_decided"] > 0
+        # Per-signature-class attribution, labelled first-seen.
+        assert all(":" in label for label in snap["by_class"])
+
+    def test_disabled_profile_records_nothing(self):
+        schema, catalog = _fixture(seed=11)
+        ENGINE_PROFILE.reset()
+        events = traffic_mix(catalog=catalog, schema=schema, requests=10, seed=3)
+        run_traffic(catalog, events, jobs=1)
+        snap = ENGINE_PROFILE.snapshot()
+        assert snap["hom_nodes"] == 0 and snap["catalog_pairs_decided"] == 0
+
+
+# ----------------------------------------------------- metrics reset semantics
+class TestMetricsResetSemantics:
+    def test_totals_survive_window_reset(self):
+        schema, catalog = _fixture()
+        events = traffic_mix(
+            schema, catalog, requests=20, edit_rate=0.0, seed=5
+        )
+
+        async def main():
+            async with CatalogService(catalog, jobs=2) as service:
+                for event in events:
+                    await service.submit(request_from_event(event))
+                first = service.metrics(reset_windows=True)
+                drained = service.metrics()
+                return first, drained
+
+        first, drained = asyncio.run(main())
+        assert first.served == 20 and first.latency_p50_s > 0.0
+        # Monotonic totals carry across the reset; the percentile windows
+        # start empty.
+        assert drained.served == 20
+        assert drained.latency_p50_s == 0.0
+        assert drained.queue_wait_p50_s == 0.0
+
+    def test_plain_metrics_keeps_windows(self):
+        schema, catalog = _fixture()
+        events = traffic_mix(schema, catalog, requests=10, edit_rate=0.0, seed=5)
+
+        async def main():
+            async with CatalogService(catalog, jobs=1) as service:
+                for event in events:
+                    await service.submit(request_from_event(event))
+                service.metrics()
+                return service.metrics()
+
+        second = asyncio.run(main())
+        assert second.latency_p50_s > 0.0
+
+
+# ------------------------------------------------------------------ clock audit
+class TestClockAudit:
+    def test_service_and_obs_durations_use_monotonic(self):
+        # Service-layer convention: every duration comes off
+        # ``time.monotonic()``.  ``time.time()`` (wall clock, jumps on NTP
+        # steps) and ``perf_counter`` (a second monotonic timeline that
+        # would break span/latency tiling) are banned from timing code.
+        banned = (re.compile(r"\btime\.time\s*\("), re.compile(r"perf_counter"))
+        scanned = 0
+        for directory in ("service", "obs"):
+            for path in sorted((SRC / directory).glob("*.py")):
+                text = path.read_text(encoding="utf-8")
+                scanned += 1
+                for pattern in banned:
+                    assert not pattern.search(text), (
+                        f"{path.name} uses {pattern.pattern}; durations must "
+                        "come off time.monotonic()"
+                    )
+        assert scanned >= 10
+
+
+# -------------------------------------------------------------- schema stability
+class TestMetricsSchema:
+    def test_to_dict_key_sets_are_stable(self):
+        schema, catalog = _fixture()
+        events = overload_mix(schema, catalog, requests=40, seed=43)
+        lane = run_traffic(
+            catalog, events, jobs=2, policy=OVERLOAD_POLICY,
+            admission="conformal",
+        )
+        snapshot = lane["metrics"].to_dict()
+        assert set(snapshot) == {
+            "served", "refused", "coalesced", "edits", "deadlined",
+            "deadline_misses", "deadline_miss_rate", "missed_in_queue",
+            "missed_computing", "shed", "shed_rate", "latency_p50_s",
+            "latency_p95_s", "queue_wait_p50_s", "queue_wait_p95_s",
+            "queue_depth", "max_queue_depth", "throughput_rps", "uptime_s",
+            "scheduler", "reuse", "cache", "warming", "subscriptions",
+            "journal", "admission",
+        }
+        assert set(snapshot["admission"]) == {
+            "mode", "coverage", "refused_unmeetable", "confidence_attached",
+            "calibration", "drift",
+        }
+        assert set(snapshot["admission"]["drift"]) == {
+            "window", "min_samples", "samples", "total_observed", "target",
+            "slack", "threshold", "coverage", "coverage_lo", "alarming",
+            "alarms", "events",
+        }
+        assert json.dumps(snapshot)  # JSON-serialisable end to end
+
+
+# ------------------------------------------------------------------------- CLI
+def run_cli(args):
+    out = io.StringIO()
+    status = cli_main(args, out=out)
+    return status, out.getvalue()
+
+
+class TestCli:
+    def test_traffic_trace_flag_dumps_and_verifies(self, tmp_path):
+        dump = str(tmp_path / "t.jsonl")
+        status, text = run_cli(
+            [
+                "traffic", "--overload", "--admission", "conformal",
+                "--trace", dump, "--jobs", "2", "--requests", "80",
+            ]
+        )
+        assert status == 0
+        assert "trace:" in text and "0 chain mismatches" in text
+        spans = load_spans(dump)
+        assert spans and check_spans(spans) == []
+
+    def test_traffic_trace_json_summary(self, tmp_path):
+        dump = str(tmp_path / "t.jsonl")
+        status, text = run_cli(
+            ["traffic", "--requests", "30", "--trace", dump, "--json"]
+        )
+        assert status == 0
+        summary = json.loads(text)
+        assert summary["trace"]["mismatches"] == []
+        assert summary["trace"]["spans"] == len(load_spans(dump))
+
+    def test_trace_subcommand_reports_breakdown(self, tmp_path):
+        dump = str(tmp_path / "t.jsonl")
+        run_cli(["traffic", "--requests", "30", "--trace", dump])
+        status, text = run_cli(["trace", dump])
+        assert status == 0
+        assert "structure verified" in text
+        for stage in ("admission", "queue", "compute"):
+            assert stage in text
+        status, text = run_cli(["trace", dump, "--json"])
+        assert status == 0
+        payload = json.loads(text)
+        assert payload["problems"] == [] and payload["spans"] > 0
+
+    def test_trace_subcommand_flags_bad_dump(self, tmp_path):
+        garbage = tmp_path / "bad.jsonl"
+        garbage.write_text("this is not a span\n")
+        status, text = run_cli(["trace", str(garbage)])
+        assert status == 2 and "not a span dump" in text
+        broken = tmp_path / "broken.jsonl"
+        broken.write_text(
+            json.dumps(
+                {"trace_id": 1, "stage": "warp", "start_s": 1.0, "end_s": 0.5}
+            )
+            + "\n"
+        )
+        status, text = run_cli(["trace", str(broken)])
+        assert status == 1 and "unknown stage" in text
+
+    def test_metrics_prom_is_valid_exposition(self):
+        status, text = run_cli(["metrics", "--format", "prom", "--requests", "60"])
+        assert status == 0
+        assert text.startswith("# HELP")
+        assert validate_exposition(text) == []
+        assert "repro_admission_windowed_coverage" in text
+
+    def test_metrics_json_parses(self):
+        status, text = run_cli(["metrics", "--format", "json", "--requests", "40"])
+        assert status == 0
+        payload = json.loads(text)
+        assert "repro_requests_served_total" in payload
