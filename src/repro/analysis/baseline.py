@@ -1,0 +1,178 @@
+"""Baseline files: grandfathered findings carried with a written reason.
+
+A baseline is a committed JSON file listing findings that existed when a
+rule was introduced and are accepted for now.  Matching is by
+:attr:`repro.analysis.findings.Finding.fingerprint` (rule + file +
+message, line-independent), so entries survive unrelated edits but die
+with the code they describe.
+
+Semantics the tests pin down:
+
+* **add** — :func:`update_baseline` writes the current findings, carrying
+  forward the reasons of entries that already existed (new entries get an
+  explicit placeholder a human must replace);
+* **match** — a finding whose fingerprint appears in the baseline is
+  reported as *baselined*, not *new*, and does not affect the exit status
+  (except under ``--strict``, where stale entries do — see below);
+* **expire** — a baseline entry matching no current finding is *stale*:
+  always reported, and a failure under ``--strict`` so fixed code sheds
+  its dead grandfather clauses instead of keeping a standing allowance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "PLACEHOLDER_REASON",
+    "load_baseline",
+    "match_baseline",
+    "update_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: The reason stamped on entries :func:`update_baseline` adds.  It is
+#: deliberately loud: a committed baseline still carrying it reads as an
+#: unexplained exemption in review.
+PLACEHOLDER_REASON = "TODO: justify this grandfathered finding"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or malformed (an internal error)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: its identity plus the written reason."""
+
+    fingerprint: str
+    rule_id: str
+    path: str
+    message: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "message": self.message,
+            "path": self.path,
+            "reason": self.reason,
+            "rule": self.rule_id,
+        }
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a baseline file, validating shape and required fields."""
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} must be an object with version {BASELINE_VERSION}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    parsed: List[BaselineEntry] = []
+    for index, raw in enumerate(entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline {path} entry {index} is not an object")
+        missing = sorted(
+            {"fingerprint", "rule", "path", "message", "reason"} - set(raw)
+        )
+        if missing:
+            raise BaselineError(
+                f"baseline {path} entry {index} is missing {', '.join(missing)}"
+            )
+        if not str(raw["reason"]).strip():
+            raise BaselineError(
+                f"baseline {path} entry {index} ({raw['rule']} in {raw['path']}) "
+                "has an empty reason; every grandfathered finding must say why"
+            )
+        parsed.append(
+            BaselineEntry(
+                fingerprint=str(raw["fingerprint"]),
+                rule_id=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                reason=str(raw["reason"]),
+            )
+        )
+    return parsed
+
+
+def match_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split ``findings`` against the baseline.
+
+    Returns ``(new, baselined, stale)``: findings not covered by any entry,
+    findings an entry grandfathers, and entries covering nothing any more.
+    """
+
+    by_fingerprint: Dict[str, BaselineEntry] = {
+        entry.fingerprint: entry for entry in entries
+    }
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen: set = set()
+    for finding in findings:
+        entry = by_fingerprint.get(finding.fingerprint)
+        if entry is None:
+            new.append(finding)
+        else:
+            baselined.append(finding)
+            seen.add(entry.fingerprint)
+    stale = [entry for entry in entries if entry.fingerprint not in seen]
+    return new, baselined, stale
+
+
+def update_baseline(
+    findings: Sequence[Finding], existing: Iterable[BaselineEntry]
+) -> List[BaselineEntry]:
+    """The entry list covering exactly ``findings``.
+
+    Reasons of surviving entries are carried forward; genuinely new
+    entries get :data:`PLACEHOLDER_REASON` for a human to replace.  Stale
+    entries simply drop out — that is the expire half of the workflow.
+    """
+
+    reasons = {entry.fingerprint: entry.reason for entry in existing}
+    merged: Dict[str, BaselineEntry] = {}
+    for finding in sorted(set(findings)):
+        merged.setdefault(
+            finding.fingerprint,
+            BaselineEntry(
+                fingerprint=finding.fingerprint,
+                rule_id=finding.rule_id,
+                path=finding.path,
+                message=finding.message,
+                reason=reasons.get(finding.fingerprint, PLACEHOLDER_REASON),
+            ),
+        )
+    return [merged[fp] for fp in sorted(merged)]
+
+
+def write_baseline(path: str, entries: Sequence[BaselineEntry]) -> None:
+    """Serialise ``entries`` to ``path`` (sorted, stable, newline-terminated)."""
+
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_dict() for entry in sorted(entries, key=lambda e: (e.path, e.rule_id, e.fingerprint))],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,78 @@
+"""Finding records emitted by the concurrency-invariant linter.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: hashable, totally ordered by location, and carrying a
+stable *fingerprint* — a digest of the rule, the file and the message
+(deliberately **not** the line number, so a baseline entry survives
+unrelated edits that shift code up or down the file).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Finding", "SEVERITIES", "SEVERITY_ERROR", "SEVERITY_WARNING"]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Recognised severities, strongest first.  ``error`` findings fail the lint
+#: run outright; ``warning`` findings fail only under ``--strict``.
+SEVERITIES: Tuple[str, ...] = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one ``path:line:col`` location.
+
+    Every field participates in equality and ordering — field order makes
+    the sort location-primary, while two *different* rules firing on the
+    same line stay distinct findings (a location-only equality would
+    collapse them in sets and baselines).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    @property
+    def location(self) -> str:
+        """The clickable ``path:line:col`` form used by the text reporter."""
+
+        return f"{self.path}:{self.line}:{self.col}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline file.
+
+        Two findings with the same rule, file and message share a
+        fingerprint even when the offending code moves, so grandfathered
+        entries do not churn on every unrelated edit above them.
+        """
+
+        raw = f"{self.rule_id}\x00{self.path}\x00{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """The JSON-reporter representation (schema-stable, sorted keys)."""
+
+        return {
+            "col": self.col,
+            "fingerprint": self.fingerprint,
+            "line": self.line,
+            "message": self.message,
+            "path": self.path,
+            "rule": self.rule_id,
+            "severity": self.severity,
+        }

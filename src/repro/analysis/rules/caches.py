@@ -1,0 +1,107 @@
+"""REPRO-UNBOUNDED-CACHE — caches come from the bounded ``perf`` tables.
+
+PR 1's whole point: every memo table in the stack is a
+:class:`repro.perf.LRUCache` — bounded, observable (hits/misses/
+evictions in ``cache_stats()``), and switchable for the oracle
+cross-checks.  A raw ``dict``/``list`` pressed into cache duty grows
+without limit on long multi-scenario runs, is invisible to the stats
+dashboard, and ignores ``REPRO_PERF_CACHE=0`` — so the cross-check lane
+silently keeps replaying memoised answers it believes it disabled.
+
+Heuristic: an assignment binding a ``cache``/``memo``-named module-global
+or ``self._*`` attribute to a fresh ``dict``/``list``-like literal or
+constructor.  Short-lived per-call scratch memos are legitimate — that is
+what inline suppressions (with their mandatory reason) are for.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.source import ModuleSource, attr_chain, resolve_call_name
+
+_CACHE_NAME = re.compile(r"cache|memo", re.IGNORECASE)
+
+#: Constructors that build an unbounded container.
+_UNBOUNDED_CONSTRUCTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",  # unbounded unless maxlen= is passed
+    }
+)
+
+
+def _is_unbounded_value(value: ast.AST, module: ModuleSource) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.DictComp, ast.ListComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = resolve_call_name(value.func, module.imports)
+        if name in _UNBOUNDED_CONSTRUCTORS:
+            # ``deque(maxlen=...)`` is bounded by construction.
+            return not any(kw.arg == "maxlen" for kw in value.keywords)
+    return False
+
+
+@register
+class UnboundedCacheRule(Rule):
+    rule_id = "REPRO-UNBOUNDED-CACHE"
+    severity = "warning"
+    summary = "cache/memo tables are bounded perf.LRUCache instances"
+    rationale = (
+        "a raw dict pressed into cache duty grows without limit, hides from "
+        "cache_stats() and ignores REPRO_PERF_CACHE=0 in the oracle lanes"
+    )
+    include = ("src/repro/",)
+    # The bounded implementation itself.
+    exclude = ("src/repro/perf/",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None or not _is_unbounded_value(value, module):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                name = self._cache_name(module, node, target)
+                if name is not None:
+                    yield self.finding(
+                        module,
+                        target,
+                        f"{name} is an unbounded container used as a cache; "
+                        "use repro.perf.LRUCache so it is bounded, counted "
+                        "and disabled by REPRO_PERF_CACHE=0",
+                    )
+
+    def _cache_name(
+        self, module: ModuleSource, assign: ast.AST, target: ast.AST
+    ) -> Optional[str]:
+        """The cache-ish name ``target`` binds, for flaggable targets only.
+
+        Module-level names and ``self._*`` attributes are shared state and
+        flaggable; plain locals are call-scoped and exempt.
+        """
+
+        if isinstance(target, ast.Name) and _CACHE_NAME.search(target.id):
+            parent = module.parents.get(assign)
+            if isinstance(parent, (ast.Module, ast.ClassDef)):
+                return target.id
+            return None
+        chain = attr_chain(target)
+        if (
+            chain is not None
+            and chain.startswith("self._")
+            and _CACHE_NAME.search(chain)
+        ):
+            return chain
+        return None

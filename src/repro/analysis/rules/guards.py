@@ -1,0 +1,150 @@
+"""Guard-recognition shared by the hot-path rules.
+
+The stack's zero-cost contract is structural: a tracer/profiler hook call
+is free when disabled *because* every call site sits behind a cheap
+conditional.  The recognised guard shapes, matching the idioms in
+``service/service.py``, ``templates/homomorphism.py`` and
+``engine/catalog.py``:
+
+* ``if x.enabled: hook()``                      (attribute test)
+* ``if x.enabled and other: hook()``            (conjunction)
+* ``y = hook() if x.enabled else 0``            (conditional expression)
+* ``flag = x.enabled`` … ``if flag: hook()``    (derived-flag test)
+* ``if marks is not None: hook()``              (derived-sentinel test)
+* ``if x is None: return`` … ``hook()``         (early-return guard)
+* ``if not x.enabled: return`` … ``hook()``     (early-return guard)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Optional
+
+from repro.analysis.source import ModuleSource
+
+__all__ = ["guards_branch", "is_enabled_guarded"]
+
+
+def _mentions_enabled(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+        for sub in ast.walk(node)
+    )
+
+
+def _is_none_compare(node: ast.AST, negated: bool) -> bool:
+    """``X is not None`` when ``negated`` is False, ``X is None`` otherwise."""
+
+    if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+        return False
+    op = node.ops[0]
+    wanted = ast.Is if negated else ast.IsNot
+    return isinstance(op, wanted) and isinstance(
+        node.comparators[0], ast.Constant
+    ) and node.comparators[0].value is None
+
+
+def _enabled_flags(function: ast.AST) -> FrozenSet[str]:
+    """Names the function binds directly from an ``.enabled`` attribute.
+
+    ``profiling = _PROFILE.enabled`` makes ``profiling`` a recognised
+    guard flag for the rest of the function.
+    """
+
+    flags = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "enabled"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    flags.add(target.id)
+    return frozenset(flags)
+
+
+def guards_branch(
+    test: ast.AST, in_body: bool, flags: FrozenSet[str] = frozenset()
+) -> bool:
+    """Whether ``test`` guards the branch the hook sits in.
+
+    ``in_body`` is True for the then-branch / IfExp body, False for the
+    else-branch.  The then-branch is guarded by a positive test
+    (``x.enabled``, a derived flag, ``x is not None``); the else-branch by
+    the negation (``not x.enabled``, ``x is None``).
+    """
+
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And) and in_body:
+        return any(guards_branch(value, True, flags) for value in test.values)
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return guards_branch(test.operand, not in_body, flags)
+    if in_body:
+        if isinstance(test, ast.Name) and test.id in flags:
+            return True
+        return _mentions_enabled(test) or _is_none_compare(test, negated=False)
+    return _is_none_compare(test, negated=True)
+
+
+def _bails(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def _early_return_guard(
+    function: ast.AST,
+    module: ModuleSource,
+    node: ast.AST,
+    flags: FrozenSet[str],
+) -> bool:
+    """``if not guard: return`` before ``node`` in the function body.
+
+    Only top-level statements of the function body count — a bail-out
+    buried in a nested block does not dominate the hook.
+    """
+
+    top: Optional[ast.stmt] = None
+    for child, parent in module.ancestry(node):
+        if parent is function and isinstance(child, ast.stmt):
+            top = child
+            break
+    if top is None:
+        return False
+    for stmt in function.body:  # type: ignore[attr-defined]
+        if stmt is top:
+            return False
+        if (
+            isinstance(stmt, ast.If)
+            and stmt.body
+            and all(_bails(inner) for inner in stmt.body)
+            and not stmt.orelse
+            and guards_branch(stmt.test, in_body=False, flags=flags)
+        ):
+            return True
+    return False
+
+
+def is_enabled_guarded(module: ModuleSource, node: ast.AST) -> bool:
+    """Whether ``node`` is dominated by a recognised enabled/sentinel guard."""
+
+    function = module.enclosing_function(node)
+    flags = _enabled_flags(function) if function is not None else frozenset()
+    for child, parent in module.ancestry(node):
+        if isinstance(parent, ast.If):
+            if child is parent.test:
+                continue
+            if child in parent.body and guards_branch(parent.test, True, flags):
+                return True
+            if child in parent.orelse and guards_branch(parent.test, False, flags):
+                return True
+        elif isinstance(parent, ast.IfExp):
+            if child is parent.body and guards_branch(parent.test, True, flags):
+                return True
+            if child is parent.orelse and guards_branch(parent.test, False, flags):
+                return True
+        elif isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _early_return_guard(parent, module, node, flags):
+                return True
+            # Guards do not cross function boundaries: an outer function's
+            # conditional says nothing about calls of this inner one.
+            return False
+    return False

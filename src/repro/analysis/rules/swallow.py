@@ -1,0 +1,80 @@
+"""REPRO-SWALLOW — broad exception handlers must account for the failure.
+
+The dispatcher's survival rule ("all failures resolve the future") makes
+broad ``except Exception`` handlers *necessary* in the service tree — but
+each one must do something with the failure: build a refusal response,
+count a metric, bind and report the error, or re-raise.  A broad handler
+whose body merely ``pass``/``continue``-s drops the exception on the
+floor: the caller sees nothing, the metrics see nothing, and a systematic
+failure (every warm prefetch dying, every journal append failing) is
+indistinguishable from health.
+
+Narrow handlers (``except KeyError``) are exempt — catching a specific
+exception is a statement about expected control flow, not a dragnet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.source import ModuleSource
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(handler: ast.ExceptHandler) -> str:
+    """The broad type a handler catches, or ``""`` when it is narrow."""
+
+    if handler.type is None:
+        return "bare except"
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return f"except {node.id}"
+    return ""
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body *does* anything with the failure.
+
+    A raise, any call, or any assignment counts — refusal construction,
+    metric increments and error binding all take one of those forms.  A
+    body of ``pass``/``continue``/``break``/bare ``return`` does not.
+    """
+
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call, ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            return True
+        if isinstance(node, ast.Return) and node.value is not None:
+            return True
+    return False
+
+
+@register
+class SwallowRule(Rule):
+    rule_id = "REPRO-SWALLOW"
+    severity = "error"
+    summary = "broad except handlers account for the failure, never drop it"
+    rationale = (
+        "a swallowed exception makes systematic failure indistinguishable "
+        "from health; refusals and metrics exist exactly for this"
+    )
+    include = ("src/repro/",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node)
+            if broad and not _accounts_for_failure(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{broad} swallows the failure; refuse, count a metric, "
+                    "or re-raise so systematic failure stays visible",
+                )

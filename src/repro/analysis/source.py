@@ -1,0 +1,142 @@
+"""Parsed source modules and shared AST utilities for the lint rules.
+
+One :class:`ModuleSource` wraps a file the engine scans: its repo-relative
+path, raw text, split lines and parsed ``ast`` tree, plus the lazily built
+parent map every guard-ancestry question needs.  The helpers below are the
+small AST vocabulary the rules share — dotted-name resolution through
+import aliases, attribute chains, and branch-aware guard tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ModuleSource",
+    "attr_chain",
+    "resolve_call_name",
+    "collect_import_aliases",
+]
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file under analysis."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    _parents: Optional[Dict[ast.AST, ast.AST]] = None
+    _imports: Optional[Dict[str, str]] = None
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "ModuleSource":
+        tree = ast.parse(text, filename=path)
+        return cls(path=path, text=text, tree=tree, lines=text.splitlines())
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child-to-parent map over the whole tree (built once, cached)."""
+
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local name -> dotted origin for every import in the module."""
+
+        if self._imports is None:
+            self._imports = collect_import_aliases(self.tree)
+        return self._imports
+
+    def ancestry(self, node: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+        """Yield ``(child, parent)`` pairs from ``node`` up to the module."""
+
+        current = node
+        parents = self.parents
+        while current in parents:
+            parent = parents[current]
+            yield current, parent
+            current = parent
+
+    def enclosing_function(self, node: ast.AST):
+        """The nearest (Async)FunctionDef containing ``node``, or ``None``."""
+
+        for _, parent in self.ancestry(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent
+        return None
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted origins they import.
+
+    ``import time`` -> ``{"time": "time"}``; ``import time as t`` ->
+    ``{"t": "time"}``; ``from time import perf_counter as pc`` ->
+    ``{"pc": "time.perf_counter"}``.  Star imports are ignored — the rules
+    that care ban specific dotted names, and nothing in this repository
+    star-imports the stdlib.
+    """
+
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import os.path`` binds the top-level name ``os``.
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """The dotted form of a Name/Attribute chain, or ``None`` if not one.
+
+    ``self._tracer.record`` -> ``"self._tracer.record"``.  Chains through
+    calls or subscripts (``a().b``, ``a[0].b``) return ``None`` — the rules
+    only reason about plain attribute paths.
+    """
+
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_name(func: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of a call target, resolved through imports.
+
+    ``pc()`` after ``from time import perf_counter as pc`` resolves to
+    ``"time.perf_counter"``; ``t.sleep()`` after ``import time as t`` to
+    ``"time.sleep"``.  Unresolvable targets return the literal chain (or
+    ``None`` for non-chains) so callers can still match local names.
+    """
+
+    chain = attr_chain(func)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return chain
+    return f"{origin}.{rest}" if rest else origin

@@ -1,0 +1,133 @@
+"""Inline suppression comments: ``# repro: allow[RULE-ID] reason``.
+
+A suppression silences one rule on one line — either the line the comment
+sits on, or the line directly below when the comment stands alone (the
+form used when the suppressed statement is too long to share its line).
+The *reason* is mandatory: a suppression that does not say why it exists
+is itself reported as a :data:`SUPPRESS_RULE_ID` finding, so the shortcut
+of suppressing without justifying never becomes invisible.
+
+Unused suppressions (nothing on their target line fires the named rule)
+are surfaced by the engine so dead ``allow`` comments get cleaned up
+rather than accreting.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+
+__all__ = ["Suppression", "SUPPRESS_RULE_ID", "parse_suppressions"]
+
+#: The engine-level rule reporting malformed suppression comments.
+SUPPRESS_RULE_ID = "REPRO-SUPPRESS"
+
+#: The well-formed directive (hash, ``repro:``, ``allow[RULE-ID]``, then a
+#: mandatory reason running to end of comment).
+_ALLOW = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[A-Z0-9-]+)\]\s*(?P<reason>.*)$"
+)
+
+#: Any comment that *looks* like an allow directive, so typos (a missing
+#: colon, ``allows`` for ``allow``) are diagnosed instead of silently
+#: ignored.  Plain prose mentioning "repro" is left alone — only the
+#: repro/allow combination is claimed as directive space.
+_DIRECTIVE = re.compile(r"#\s*repro:?\s*allow", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment targeting ``rule_id`` on ``target_line``."""
+
+    path: str
+    comment_line: int
+    target_line: int
+    rule_id: str
+    reason: str
+
+
+def _comment_tokens(text: str):
+    """``(line, col, comment_text, standalone)`` for every comment in ``text``.
+
+    Tokenising (rather than regex over raw lines) means string literals
+    that merely *mention* the directive syntax — docstrings documenting
+    it, the parser's own regex — are never mistaken for directives.
+    """
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                line = token.start[0]
+                source_line = token.line
+                standalone = source_line.lstrip().startswith("#")
+                yield line, token.start[1], token.string, standalone
+    except (tokenize.TokenError, IndentationError):
+        # The engine surfaces syntax errors through ast.parse with a far
+        # better message; an untokenisable file simply has no comments.
+        return
+
+
+def parse_suppressions(
+    path: str, text: str
+) -> Tuple[Dict[Tuple[int, str], Suppression], List[Finding]]:
+    """Extract suppressions from a module's source text.
+
+    Returns ``(suppressions, problems)`` where ``suppressions`` maps
+    ``(target_line, rule_id)`` to the governing :class:`Suppression` and
+    ``problems`` lists malformed directives as findings.
+    """
+
+    suppressions: Dict[Tuple[int, str], Suppression] = {}
+    problems: List[Finding] = []
+    for lineno, col, comment, standalone in _comment_tokens(text):
+        match = _ALLOW.search(comment)
+        if match is None:
+            directive = _DIRECTIVE.search(comment)
+            if directive is not None:
+                problems.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=col + directive.start() + 1,
+                        rule_id=SUPPRESS_RULE_ID,
+                        severity=SEVERITY_ERROR,
+                        message=(
+                            "unrecognised repro directive; the only form is "
+                            "'# repro: allow[RULE-ID] reason'"
+                        ),
+                    )
+                )
+            continue
+        reason = match.group("reason").strip()
+        if not reason:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col + match.start() + 1,
+                    rule_id=SUPPRESS_RULE_ID,
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        f"suppression of {match.group('rule')} has no reason; "
+                        "write '# repro: allow[RULE-ID] why it is safe'"
+                    ),
+                )
+            )
+            continue
+        # A standalone comment governs the next line; a trailing comment
+        # governs its own line.
+        target = lineno + 1 if standalone else lineno
+        suppressions[(target, match.group("rule"))] = Suppression(
+            path=path,
+            comment_line=lineno,
+            target_line=target,
+            rule_id=match.group("rule"),
+            reason=reason,
+        )
+    return suppressions, problems

@@ -27,6 +27,9 @@ exposes the paper's decision procedures to shell users::
     python -m repro.cli metrics --format prom
                                         # Prometheus exposition from a seeded
                                         # traffic run (self-validated)
+    python -m repro.cli lint src tests --strict --format json
+                                        # concurrency-invariant static
+                                        # analysis over the tree itself
 
 Every subcommand prints human-readable text to stdout and exits with status 0
 on success, 1 when a decision is negative (member / equivalent answer "no",
@@ -274,6 +277,51 @@ def build_parser() -> argparse.ArgumentParser:
         default="conformal",
         help="admission control for the internal run (conformal by default "
         "so the drift-monitor gauges are populated)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST-based concurrency-invariant linter: clock discipline, "
+        "lock discipline, event-loop blocking, hot-path guards, cache "
+        "bounds, exception accounting",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json matches the schema CI archives)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE-ID",
+        help="run only the named rule (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of grandfathered findings (JSON, version 1)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to cover exactly the current findings "
+        "(existing reasons carried forward, new entries get a placeholder "
+        "reason to replace before committing)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings and stale baseline entries too, not just "
+        "errors — the CI mode",
     )
 
     recover = subparsers.add_parser(
@@ -809,6 +857,58 @@ def _cmd_recover(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.analysis import (
+        BaselineError,
+        LintConfigError,
+        LintError,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        update_baseline,
+        write_baseline,
+    )
+
+    if args.update_baseline and args.baseline is None:
+        print("error: --update-baseline requires --baseline", file=out)
+        return 2
+    try:
+        result = run_lint(
+            args.paths,
+            rule_ids=args.rule,
+            baseline_path=args.baseline if not args.update_baseline else None,
+        )
+        if args.update_baseline:
+            import os
+
+            existing = (
+                load_baseline(args.baseline)
+                if os.path.exists(args.baseline)
+                else []
+            )
+            entries = update_baseline(result.findings, existing)
+            write_baseline(args.baseline, entries)
+            print(
+                f"baseline {args.baseline}: {len(entries)} entr"
+                f"{'y' if len(entries) == 1 else 'ies'} written",
+                file=out,
+            )
+            return 0
+    except (LintError, LintConfigError, BaselineError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(render_json(result, strict=args.strict), indent=2),
+            file=out,
+        )
+    else:
+        for line in render_text(result, strict=args.strict):
+            print(line, file=out)
+    return result.exit_status(strict=args.strict)
+
+
 def _cmd_simplify(catalog: Catalog, out) -> int:
     simplified = {name: simplify_view(view) for name, view in catalog.views.items()}
     print(serialize_catalog(Catalog(schema=catalog.schema, views=simplified)), file=out, end="")
@@ -834,6 +934,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_metrics(args, out)
         if args.command == "recover":
             return _cmd_recover(args, out)
+        if args.command == "lint":
+            return _cmd_lint(args, out)
         catalog = _load(args.catalogue)
         if args.command == "analyze":
             return _cmd_analyze(catalog, args.view, out)

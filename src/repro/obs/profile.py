@@ -76,7 +76,9 @@ class EngineProfile:
         with self._lock:
             self.hom_searches += 1
 
-    def _class_label(self, class_key: Hashable, rows: int) -> str:
+    def _class_label_locked(self, class_key: Hashable, rows: int) -> str:
+        """Label for ``class_key``; caller must hold ``self._lock``."""
+
         label = self._class_labels.get(class_key)
         if label is None:
             if len(self._class_labels) >= self.max_classes:
@@ -102,7 +104,7 @@ class EngineProfile:
         with self._lock:
             self.hom_lookups[f"{tier}_{outcome}"] += 1
             if class_key is not None:
-                label = self._class_label(class_key, rows)
+                label = self._class_label_locked(class_key, rows)
                 bucket = self._by_class.setdefault(label, {"hit": 0, "miss": 0})
                 bucket[outcome] += 1
 

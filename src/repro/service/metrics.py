@@ -127,6 +127,7 @@ class ServiceMetrics:
     push_total_s: float = 0.0
     warm_prefetches: int = 0
     warm_hits: int = 0
+    warm_errors: int = 0
     #: Conformal admission gate (:mod:`repro.service.admission`): the active
     #: mode (``"off"``/``"conformal"``), the configured coverage level, how
     #: many requests the gate refused as unmeetable at submission, how many
@@ -231,6 +232,7 @@ class ServiceMetrics:
             "warming": {
                 "prefetches": self.warm_prefetches,
                 "warm_hits": self.warm_hits,
+                "errors": self.warm_errors,
             },
             "admission": {
                 "mode": self.admission_mode,

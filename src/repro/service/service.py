@@ -362,6 +362,7 @@ class CatalogService:
         self._warmed: Dict[str, int] = {}
         self._warm_prefetches = 0
         self._warm_hits = 0
+        self._warm_errors = 0
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "CatalogService":
@@ -383,13 +384,19 @@ class CatalogService:
         )
         if self._journal is not None:
             # The base anchor every recovery folds from.  The snapshot
-            # materialises the dominance matrix, so it runs on the executor;
-            # the journal write itself is one small append.
+            # materialises the dominance matrix and the begin record hits
+            # the filesystem (append + possible fsync), so both run on the
+            # executor — the event loop never blocks on I/O.
             loop = asyncio.get_running_loop()
             snapshot = await loop.run_in_executor(
                 self._executor, lambda: self._analyzer.snapshot(self._version)
             )
-            self._journal.begin(catalog_text(self._analyzer.views), snapshot)
+            await loop.run_in_executor(
+                self._executor,
+                self._journal.begin,
+                catalog_text(self._analyzer.views),
+                snapshot,
+            )
         if self._cache_warm:
             self._warm_sub = self._hub.subscribe(
                 [TOPIC_VIEWS],
@@ -818,6 +825,7 @@ class CatalogService:
             push_total_s=self._push_total_s,
             warm_prefetches=self._warm_prefetches,
             warm_hits=self._warm_hits,
+            warm_errors=self._warm_errors,
             admission_mode=self._admission_mode,
             admission_coverage=self._admission.coverage,
             admission_refused=self._admission_refused,
@@ -908,6 +916,7 @@ class CatalogService:
         )
         warm.set_total(self._warm_prefetches, event="prefetch")
         warm.set_total(self._warm_hits, event="hit")
+        warm.set_total(self._warm_errors, event="error")
         # Journal.
         if self._journal is not None:
             stats = self._journal.stats()
@@ -1221,6 +1230,8 @@ class CatalogService:
         did reach is extended to ``now`` and the chain stops there.
         """
 
+        if not self._tracer.enabled:
+            return
         marks = item.trace
         record = self._tracer.record
         tid = marks.tid
@@ -1320,7 +1331,20 @@ class CatalogService:
             # work) closes here; journal and publish tile after it.
             item.trace.diff_done = self._clock()
         if self._journal is not None:
-            self._journal_edit(request, derived, new_version, delta)
+            # The append (and per-record fsync) is file I/O: it runs on the
+            # executor so the event loop keeps serving reads while the edit
+            # waits for durability.  Edits are serialized in this dispatcher,
+            # so the journal still records them in commit order, and the
+            # await completes before publication — the journal is never
+            # behind a subscriber.
+            await loop.run_in_executor(
+                self._executor,
+                self._journal_edit,
+                request,
+                derived,
+                new_version,
+                delta,
+            )
             if item.trace is not None:
                 item.trace.journal_done = self._clock()
         self._analyzer = derived
@@ -1438,6 +1462,10 @@ class CatalogService:
                         lambda n=name, a=analyzer: a.analyzer(n).analyze(),
                     )
                 except Exception:  # noqa: BLE001 — warming is best-effort
+                    # Best-effort, but never invisible: a prefetch that dies
+                    # on every edit would otherwise be indistinguishable
+                    # from warming working (REPRO-SWALLOW's point).
+                    self._warm_errors += 1
                     continue
                 self._warm_prefetches += 1
                 self._warmed[name] = version

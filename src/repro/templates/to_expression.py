@@ -145,6 +145,7 @@ class _Parser:
     """Backtracking parser inverting Algorithm 2.1.1 on reduced templates."""
 
     def __init__(self, max_search_width: int) -> None:
+        # repro: allow[REPRO-UNBOUNDED-CACHE] per-parse scratch memo; a _Parser lives for one to_expression call, so the dict is bounded by that call's subproblem count and is never shared
         self._memo: Dict[PyTuple[Rows, bool], Optional[Expression]] = {}
         self._max_search_width = max_search_width
 

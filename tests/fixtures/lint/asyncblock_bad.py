@@ -1,0 +1,17 @@
+"""Planted fault: blocking calls on the event loop (REPRO-ASYNC-BLOCK)."""
+
+import time
+
+
+class Dispatcher:
+    def __init__(self, journal, lock):
+        self._journal = journal
+        self._lock = lock
+
+    async def commit(self, delta):
+        self._lock.acquire()
+        try:
+            self._journal.append(delta)
+        finally:
+            self._lock.release()
+        time.sleep(0.01)

@@ -1,0 +1,14 @@
+"""Fixed twin of ``asyncblock_bad.py``: blocking work routed off the loop."""
+
+import asyncio
+
+
+class Dispatcher:
+    def __init__(self, journal, executor):
+        self._journal = journal
+        self._executor = executor
+
+    async def commit(self, delta):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._journal.append, delta)
+        await asyncio.sleep(0.01)

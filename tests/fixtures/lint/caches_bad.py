@@ -1,0 +1,8 @@
+"""Planted fault: a raw dict pressed into cache duty (REPRO-UNBOUNDED-CACHE)."""
+
+_REPORT_CACHE = {}
+
+
+class Analyzer:
+    def __init__(self):
+        self._memo = {}

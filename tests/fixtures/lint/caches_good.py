@@ -1,0 +1,10 @@
+"""Fixed twin of ``caches_bad.py``: bounded, observable LRU tables."""
+
+from repro.perf import LRUCache
+
+_REPORT_CACHE = LRUCache(256)
+
+
+class Analyzer:
+    def __init__(self):
+        self._memo = LRUCache(1024)

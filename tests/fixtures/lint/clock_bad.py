@@ -1,0 +1,9 @@
+"""Planted fault: stamps taken off a second timeline (REPRO-CLOCK)."""
+
+import time
+
+
+def stamp_request(record):
+    record["start"] = time.perf_counter()
+    record["wall"] = time.time()
+    return record

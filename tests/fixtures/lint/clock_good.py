@@ -1,0 +1,9 @@
+"""Fixed twin of ``clock_bad.py``: one monotonic clock for every stamp."""
+
+import time
+
+
+def stamp_request(record):
+    record["start"] = time.monotonic()
+    record["wall"] = time.monotonic()
+    return record

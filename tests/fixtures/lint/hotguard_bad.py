@@ -1,0 +1,11 @@
+"""Planted fault: unguarded tracer hook on the hot path (REPRO-HOT-GUARD)."""
+
+
+class Worker:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def serve(self, request, start, end):
+        self._tracer.record(request.trace_id, "compute", start, end)
+        record = self._tracer.record
+        return record

@@ -1,0 +1,13 @@
+"""Fixed twin of ``hotguard_bad.py``: one attribute check guards the hook."""
+
+
+class Worker:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def serve(self, request, start, end):
+        if self._tracer.enabled:
+            self._tracer.record(request.trace_id, "compute", start, end)
+            record = self._tracer.record
+            return record
+        return None

@@ -1,0 +1,19 @@
+"""Planted fault: shared state mutated outside the lock (REPRO-LOCK)."""
+
+import threading
+
+
+class MemoTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}
+        self._hits = 0
+
+    def put(self, key, value):
+        self._table[key] = value
+
+    def get(self, key):
+        with self._lock:
+            value = self._table.get(key)
+        self._hits += 1
+        return value

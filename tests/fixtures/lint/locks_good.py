@@ -1,0 +1,20 @@
+"""Fixed twin of ``locks_bad.py``: every mutation under ``self._lock``."""
+
+import threading
+
+
+class MemoTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}
+        self._hits = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._table[key] = value
+
+    def get(self, key):
+        with self._lock:
+            value = self._table.get(key)
+            self._hits += 1
+        return value

@@ -1,0 +1,13 @@
+"""Planted fault: a broad handler drops the failure (REPRO-SWALLOW)."""
+
+
+class Prefetcher:
+    def __init__(self):
+        self._errors = 0
+
+    def warm(self, views, compute):
+        for view in views:
+            try:
+                compute(view)
+            except Exception:
+                continue

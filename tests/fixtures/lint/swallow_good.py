@@ -1,0 +1,14 @@
+"""Fixed twin of ``swallow_bad.py``: the failure is counted, not dropped."""
+
+
+class Prefetcher:
+    def __init__(self):
+        self._errors = 0
+
+    def warm(self, views, compute):
+        for view in views:
+            try:
+                compute(view)
+            except Exception:
+                self._errors += 1
+                continue

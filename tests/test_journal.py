@@ -536,6 +536,7 @@ class TestServiceIntegration:
         assert warmed == {
             "prefetches": metrics.warm_prefetches,
             "warm_hits": metrics.warm_hits,
+            "errors": metrics.warm_errors,
         }
 
     def test_verify_recovery_harness(self, tmp_path):
