@@ -1,0 +1,19 @@
+"""Shim: benchmark history lives in :mod:`repro.perf.history`.
+
+``benchmarks/`` is a scripts directory, not a package — the real
+implementation sits in ``src/repro/perf/history.py`` so ``repro
+bench-history`` can import it without path games.  ``run_benchmarks.py``
+(which puts ``src/`` on ``sys.path`` itself) imports through this module
+so the history logic is discoverable next to the harness it serves.
+"""
+
+from repro.perf.history import (  # noqa: F401
+    DEFAULT_BAND,
+    HISTORY_FILENAME,
+    append_history,
+    flag_regressions,
+    git_revision,
+    history_entry,
+    load_history,
+    tracked_metrics,
+)

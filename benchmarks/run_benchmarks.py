@@ -19,7 +19,11 @@ cost of the durable delta journal and snapshot+fold crash recovery against
 cold re-analysis, the recovered analyzer verified bit-identical; PR 8 adds
 the tracing lanes replaying the burst mix with the span tracer off and on,
 gating ``trace_overhead_ratio`` at 1.05x and recording the per-stage
-latency breakdown) — against both engines:
+latency breakdown; PR 10 adds the sampling lanes replaying it once more
+with the tail sampler deciding which boring traces to keep, gating
+``sampler_overhead_ratio`` at the same 1.05x and asserting 100% retention
+of shed/missed/refused traces with an exactly-balanced ledger) — against
+both engines:
 
 * **seed** — the preserved pre-optimisation implementations
   (:mod:`repro.baselines.seed_engine`), and
@@ -35,10 +39,15 @@ and memo-table hit rates.  Every PR from this one onward appends to that
 trajectory; CI runs ``--smoke`` to keep the file fresh (the smoke set
 includes one large-instance cold scenario and one parallel lane).
 
+Each run also appends one direction-tagged line of tracked metrics to
+``BENCH_history.jsonl`` (see :mod:`repro.perf.history`; disable with
+``--history ''``) so ``repro bench-history`` can flag regressions against
+the previous comparable run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--smoke]
-        [--repeats N] [--output PATH]
+        [--repeats N] [--output PATH] [--history PATH]
 """
 
 from __future__ import annotations
@@ -64,6 +73,7 @@ from repro.baselines.seed_engine import (  # noqa: E402
     seed_views_equivalent,
 )
 from repro.engine import CatalogAnalyzer, process_chunksize  # noqa: E402
+from repro.obs.sampling import TailSampler  # noqa: E402
 from repro.obs.tracing import Tracer, trace_breakdown  # noqa: E402
 from repro.perf import cache_stats, clear_caches  # noqa: E402
 from repro.service import (  # noqa: E402
@@ -693,6 +703,72 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         "breakdown": trace_breakdown(traced_lane["trace"]["spans"]),
     }
 
+    # Sampling lanes (PR 10): the same burst mix with the tracer on *and*
+    # the tail sampler deciding which boring traces to keep (head rate
+    # 0.1).  sampler_overhead_ratio = sampled-traced / fully-traced
+    # wall-clock (min-of-N each, reusing the tracing lanes' on-times as
+    # the denominator): the sampler's own cost on top of tracing must stay
+    # within 1.05 — and since a kept head rate of 0.1 skips most span
+    # recording it is typically below 1.  The retention gate is the
+    # tail-sampling contract: every interesting response (shed,
+    # deadline-missed, refused) keeps its full trace; only boring ones may
+    # be sampled out.
+    samp_times = []
+    sampled_lane = None
+    for _ in range(trace_repeats):
+        clear_caches()
+        lane = run_traffic(
+            catalog,
+            overload_events,
+            jobs=jobs,
+            scheduler="edf",
+            policy=OVERLOAD_POLICY,
+            tracer=Tracer(),
+            sampler=TailSampler(0.1),
+        )
+        all_identical = all_identical and not lane["verdict"]["mismatches"]
+        samp_times.append(lane["elapsed_s"])
+        sampled_lane = lane
+    samp_verdict = sampled_lane["trace"]["verdict"]
+    all_identical = (
+        all_identical
+        and not samp_verdict["mismatches"]
+        and not samp_verdict["structural_problems"]
+    )
+    ledger = sampled_lane["trace"]["sampler"]
+    kept_traces = {span.trace_id for span in sampled_lane["trace"]["spans"]}
+    interesting = [
+        response
+        for response in sampled_lane["responses"]
+        if response.trace_id is not None
+        and (response.shed or response.deadline_missed or response.status == "refused")
+    ]
+    retained = sum(
+        1 for response in interesting if response.trace_id in kept_traces
+    )
+    sampler_overhead_ratio = min(samp_times) / max(min(on_times), 1e-9)
+    sampling = {
+        "repeats": trace_repeats,
+        "events": len(overload_events),
+        "head_rate": ledger["head_rate"],
+        "traced_min_s": min(on_times),
+        "sampled_min_s": min(samp_times),
+        "sampled_vs_untraced_ratio": min(samp_times) / max(min(off_times), 1e-9),
+        "sampler_overhead_ratio": sampler_overhead_ratio,
+        "sampler_overhead_ok": sampler_overhead_ratio <= 1.05,
+        "ledger": ledger,
+        "ledger_exact": (
+            ledger["decisions"]
+            == ledger["kept_interesting"] + ledger["kept_head"] + ledger["dropped"]
+        ),
+        "interesting_responses": len(interesting),
+        "interesting_retained": retained,
+        "retention_ok": retained == len(interesting),
+        "sampled_out": samp_verdict["sampled_out"],
+        "chain_mismatches": len(samp_verdict["mismatches"]),
+        "structural_problems": len(samp_verdict["structural_problems"]),
+    }
+
     # Subscription lanes (PR 5): the same edit-heavy seeded mix replayed
     # three ways from cold caches —
     #   base: no subscribers and no polls (the shared cost floor),
@@ -863,6 +939,7 @@ def bench_service(repeats: int, smoke: bool = False) -> Dict[str, object]:
         "edf_miss_below_fifo": overload_rates["edf"] < overload_rates["fifo"],
         "admission": admission,
         "tracing": tracing,
+        "sampling": sampling,
         "subscription": subscription,
         "recovery": recovery,
     }
@@ -942,6 +1019,18 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 f"{tr['complete_chains']}/{tr['checked']} chains tile the "
                 f"latency ({tr['chain_mismatches']} mismatches, "
                 f"{tr['structural_problems']} structural)"
+            )
+        if "sampling" in summary:
+            sp = summary["sampling"]
+            print(
+                f"[bench]   sampling: overhead ratio "
+                f"{sp['sampler_overhead_ratio']:.3f} "
+                f"(ok={sp['sampler_overhead_ok']}); kept "
+                f"{sp['ledger']['kept']} of {sp['ledger']['decisions']} "
+                f"traces ({sp['sampled_out']} sampled out), retained "
+                f"{sp['interesting_retained']}/{sp['interesting_responses']} "
+                f"interesting (ok={sp['retention_ok']}, ledger exact="
+                f"{sp['ledger_exact']})"
             )
         if "subscription" in summary:
             sub = summary["subscription"]
@@ -1024,6 +1113,19 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                     "chain_mismatches": tr["chain_mismatches"],
                     "structural_problems": tr["structural_problems"],
                 }
+            if "sampling" in suites[name]:
+                sp = suites[name]["sampling"]
+                entry["sampling"] = {
+                    "sampler_overhead_ratio": round(
+                        sp["sampler_overhead_ratio"], 4
+                    ),
+                    "sampler_overhead_ok": sp["sampler_overhead_ok"],
+                    "retention_ok": sp["retention_ok"],
+                    "ledger_exact": sp["ledger_exact"],
+                    "interesting_retained": sp["interesting_retained"],
+                    "interesting_responses": sp["interesting_responses"],
+                    "sampled_out": sp["sampled_out"],
+                }
             if "subscription" in suites[name]:
                 sub = suites[name]["subscription"]
                 entry["subscription"] = {
@@ -1054,7 +1156,7 @@ def run(repeats: int, smoke: bool) -> Dict[str, object]:
                 }
         summary_block[name] = entry
     report = {
-        "schema_version": 7,
+        "schema_version": 8,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpus": os.cpu_count(),
@@ -1074,6 +1176,11 @@ def main(argv=None) -> int:
         default=os.path.join(_ROOT, "BENCH_perf.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--history",
+        default=os.path.join(_ROOT, "BENCH_history.jsonl"),
+        help="append this run's tracked metrics here (empty string to skip)",
+    )
     args = parser.parse_args(argv)
     repeats = args.repeats or (SMOKE_REPEATS if args.smoke else DEFAULT_REPEATS)
 
@@ -1082,6 +1189,15 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench] wrote {args.output}")
+    if args.history:
+        from history import append_history, git_revision
+
+        entry = append_history(report, args.history, git_rev=git_revision(_ROOT))
+        print(
+            f"[bench] appended {len(entry['metrics'])} tracked metric(s) to "
+            f"{args.history} (rev {entry['git_rev'] or '?'}); compare with "
+            "`repro bench-history`"
+        )
 
     if not all(entry.get("all_agree", True) for entry in report["summary"].values()):
         print("[bench] ERROR: seed and optimised engines disagreed", file=sys.stderr)
@@ -1111,6 +1227,27 @@ def main(argv=None) -> int:
         print(
             "[bench] ERROR: tracing overhead exceeded the 1.05x budget "
             "(trace_overhead_ratio gate)",
+            file=sys.stderr,
+        )
+        return 1
+    if not all(
+        entry.get("sampling", {}).get("sampler_overhead_ok", True)
+        for entry in report["summary"].values()
+    ):
+        print(
+            "[bench] ERROR: tail sampling overhead exceeded the 1.05x budget "
+            "(sampler_overhead_ratio gate)",
+            file=sys.stderr,
+        )
+        return 1
+    if not all(
+        entry.get("sampling", {}).get("retention_ok", True)
+        and entry.get("sampling", {}).get("ledger_exact", True)
+        for entry in report["summary"].values()
+    ):
+        print(
+            "[bench] ERROR: tail sampler dropped an interesting trace or "
+            "its ledger does not balance (retention gate)",
             file=sys.stderr,
         )
         return 1

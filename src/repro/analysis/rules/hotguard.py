@@ -24,11 +24,13 @@ from repro.analysis.rules import Rule, register
 from repro.analysis.rules.guards import is_enabled_guarded
 from repro.analysis.source import ModuleSource, attr_chain
 
-#: Receivers that hold a tracing/profiling hook object.
-_HOOK_RECEIVER = re.compile(r"tracer|profile", re.IGNORECASE)
+#: Receivers that hold a tracing/profiling/sampling hook object.
+_HOOK_RECEIVER = re.compile(r"tracer|profile|sampler", re.IGNORECASE)
 
 #: Methods that record into the hook object (the hot-path mutators; reads
-#: like ``spans()``/``snapshot()`` are cold-path and exempt).
+#: like ``spans()``/``snapshot()`` are cold-path and exempt).  ``decide``
+#: is the tail sampler's per-trace ruling — it mutates the ledger, so it
+#: must sit behind the tracer's ``enabled`` guard like every span record.
 HOOK_METHODS = frozenset(
     {
         "record",
@@ -38,6 +40,7 @@ HOOK_METHODS = frozenset(
         "hom_lookup",
         "catalog_decided",
         "catalog_broadcast",
+        "decide",
     }
 )
 

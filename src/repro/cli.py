@@ -239,6 +239,23 @@ def build_parser() -> argparse.ArgumentParser:
         "any trace mismatch",
     )
     traffic.add_argument(
+        "--slo",
+        action="store_true",
+        help="attach the SLO burn-rate engine (repro.obs.SloEngine, stock "
+        "specs): every finished request feeds per-class latency/availability "
+        "objectives with fast/slow-window burn-rate alerting; the summary "
+        "grows an SLO section and the metrics JSON an 'slo' block",
+    )
+    traffic.add_argument(
+        "--head-rate",
+        type=float,
+        default=0.1,
+        help="with --trace and --slo: tail-sample kept traces — misses, "
+        "sheds, refusals and SLO violators are kept with probability 1, "
+        "everything else at this budgeted rate (default 0.1); the exact "
+        "kept/dropped ledger lands in the summary",
+    )
+    traffic.add_argument(
         "--json", action="store_true", help="emit the traffic summary as JSON"
     )
 
@@ -248,6 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
         "latency breakdown plus structural checks",
     )
     trace.add_argument("dump", help="path to a JSONL span dump")
+    trace.add_argument(
+        "--by-kind",
+        action="store_true",
+        help="group the per-stage breakdown by request kind (per-class view)",
+    )
     trace.add_argument(
         "--json", action="store_true", help="emit the breakdown as JSON"
     )
@@ -277,6 +299,80 @@ def build_parser() -> argparse.ArgumentParser:
         default="conformal",
         help="admission control for the internal run (conformal by default "
         "so the drift-monitor gauges are populated)",
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live text dashboard: throughput, per-class p50/p95, SLO burn "
+        "rates and alarm states, attribution shares, sampler ledger — from "
+        "a self-driven traffic session or a metrics JSON dump",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single final frame and exit (the CI/snapshot mode) "
+        "instead of repainting live",
+    )
+    top.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="render from a metrics JSON dump (a `traffic --json` summary or "
+        "a bare ServiceMetrics dict) instead of driving a session; implies "
+        "--once",
+    )
+    top.add_argument(
+        "--requests", type=int, default=240, help="traffic events for the session"
+    )
+    top.add_argument("--seed", type=int, default=43, help="traffic and catalog seed")
+    top.add_argument(
+        "--jobs", type=int, default=2, help="service worker threads for reads"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between live repaints (default 0.5)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N live repaints (default: until the session drains)",
+    )
+    top.add_argument(
+        "--head-rate",
+        type=float,
+        default=0.1,
+        help="tail-sampler head rate for the session's tracer (default 0.1)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the final snapshot (metrics + SLO report + attribution) "
+        "as JSON instead of the text frame",
+    )
+
+    bench_history = subparsers.add_parser(
+        "bench-history",
+        help="show the benchmark trajectory in BENCH_history.jsonl and flag "
+        "regressions beyond the noise band against the previous comparable "
+        "run (same schema_version/cpus/smoke); exits 1 on a regression",
+    )
+    bench_history.add_argument(
+        "--path",
+        default="BENCH_history.jsonl",
+        metavar="FILE",
+        help="history file (default: BENCH_history.jsonl)",
+    )
+    bench_history.add_argument(
+        "--band",
+        type=float,
+        default=0.2,
+        help="relative noise band (default 0.2: flag >20%% moves the wrong way)",
+    )
+    bench_history.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
     )
 
     lint = subparsers.add_parser(
@@ -434,6 +530,8 @@ def _cmd_traffic(args, out) -> int:
         FaultyFile,
         run_traffic,
     )
+    from repro.obs.sampling import TailSampler
+    from repro.obs.slo import SloEngine
     from repro.obs.tracing import Tracer, dump_spans
     from repro.service.requests import EDIT_KINDS
     from repro.workloads import (
@@ -455,6 +553,12 @@ def _cmd_traffic(args, out) -> int:
     if not 0.0 < args.coverage < 1.0:
         print(
             f"error: --coverage must lie in (0, 1), got {args.coverage}",
+            file=out,
+        )
+        return 2
+    if not 0.0 <= args.head_rate <= 1.0:
+        print(
+            f"error: --head-rate must lie in [0, 1], got {args.head_rate}",
             file=out,
         )
         return 2
@@ -510,6 +614,14 @@ def _cmd_traffic(args, out) -> int:
             wrap=wrap,
         )
     tracer = Tracer() if args.trace is not None else None
+    slo = SloEngine() if args.slo else None
+    # Tail sampling is an --slo + --trace feature: without a tracer there
+    # is nothing to sample, without the SLO engine no violation signal.
+    sampler = (
+        TailSampler(args.head_rate)
+        if args.slo and tracer is not None
+        else None
+    )
     lane = run_traffic(
         catalog,
         events,
@@ -523,6 +635,8 @@ def _cmd_traffic(args, out) -> int:
         admission=args.admission,
         coverage=args.coverage,
         tracer=tracer,
+        slo=slo,
+        sampler=sampler,
     )
     metrics, verdict, elapsed = lane["metrics"], lane["verdict"], lane["elapsed_s"]
     # Per-edit decision reuse: each applied edit's incremental accounting,
@@ -571,8 +685,10 @@ def _cmd_traffic(args, out) -> int:
             "checked": trace_verdict["checked"],
             "complete_chains": trace_verdict["complete_chains"],
             "coalesced_links": trace_verdict["coalesced_links"],
+            "sampled_out": trace_verdict["sampled_out"],
             "structural_problems": trace_verdict["structural_problems"],
             "mismatches": trace_verdict["mismatches"],
+            "sampler": lane["trace"]["sampler"],
         }
     sub_verdict = None
     if lane["subscriptions"] is not None:
@@ -704,6 +820,47 @@ def _cmd_traffic(args, out) -> int:
                 f"{len(t['mismatches'])} chain mismatches",
                 file=out,
             )
+            if t["sampler"] is not None:
+                led = t["sampler"]
+                print(
+                    f"  tail sampler (head rate {led['head_rate']}): kept "
+                    f"{led['kept']} of {led['decisions']} traces "
+                    f"({led['kept_interesting']} interesting, "
+                    f"{led['kept_head']} head), dropped {led['dropped']}, "
+                    f"{t['sampled_out']} sampled-out chains skipped",
+                    file=out,
+                )
+        if args.slo and m["slo"] is not None:
+            s = m["slo"]
+            print(
+                f"  slo: {s['alerts']} burn-rate alert(s) "
+                f"(fast {s['fast_window_s']:.0f}s >= "
+                f"{s['fast_burn_threshold']:.1f}x AND slow "
+                f"{s['slow_window_s']:.0f}s >= "
+                f"{s['slow_burn_threshold']:.1f}x), "
+                f"alarming now: {s['alarming']}",
+                file=out,
+            )
+            for entry in s["slos"]:
+                lat, avail = entry["latency"], entry["availability"]
+                target = lat["target_s"]
+                target_text = (
+                    "calibrating"
+                    if target is None
+                    else f"{target * 1000:.0f}ms"
+                )
+                lat_burn = lat["fast"]["burn"]
+                avail_burn = avail["fast"]["burn"]
+                print(
+                    f"    {entry['name']}: latency p"
+                    f"{lat['quantile'] * 100:.0f} <= {target_text} "
+                    f"(burn {'n/a' if lat_burn is None else lat_burn}, "
+                    f"alarms {lat['alarms']}); availability >= "
+                    f"{avail['target']:.2f} "
+                    f"(burn {'n/a' if avail_burn is None else avail_burn}, "
+                    f"alarms {avail['alarms']})",
+                    file=out,
+                )
         print(
             f"  verified {summary['verified']} exact answers against fresh "
             f"analyzers; {summary['mismatches']} mismatches",
@@ -737,6 +894,7 @@ def _cmd_trace(args, out) -> int:
         return 2
     problems = check_spans(spans)
     breakdown = trace_breakdown(spans)
+    by_kind = trace_breakdown(spans, by_kind=True) if args.by_kind else None
     traces = len({span.trace_id for span in spans})
     if args.json:
         payload = {
@@ -745,22 +903,33 @@ def _cmd_trace(args, out) -> int:
             "stages": breakdown,
             "problems": problems,
         }
+        if by_kind is not None:
+            payload["by_kind"] = by_kind
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return 1 if problems else 0
     print(f"{args.dump}: {len(spans)} spans across {traces} traces", file=out)
-    if breakdown:
-        width = max(len(stage) for stage in breakdown)
+
+    def _stage_table(table, indent="  "):
+        width = max(len(stage) for stage in table)
         print(
-            f"  {'stage'.ljust(width)}  count     p50        p95      total",
+            f"{indent}{'stage'.ljust(width)}  count     p50        p95      total",
             file=out,
         )
-        for stage, stats in breakdown.items():
+        for stage, stats in table.items():
             print(
-                f"  {stage.ljust(width)}  {stats['count']:5d}  "
+                f"{indent}{stage.ljust(width)}  {stats['count']:5d}  "
                 f"{stats['p50_s'] * 1000:7.3f}ms  {stats['p95_s'] * 1000:7.3f}ms  "
                 f"{stats['total_s']:7.3f}s",
                 file=out,
             )
+
+    if by_kind is not None:
+        for kind, table in by_kind.items():
+            print(f"  kind {kind}:", file=out)
+            if table:
+                _stage_table(table, indent="    ")
+    elif breakdown:
+        _stage_table(breakdown)
     if problems:
         print(f"  {len(problems)} structural problem(s):", file=out)
         for problem in problems:
@@ -803,6 +972,204 @@ def _cmd_metrics(args, out) -> int:
             print(f"  {problem}", file=out)
         return 2
     print(text, file=out, end="")
+    return 0
+
+
+def _cmd_top(args, out) -> int:
+    import asyncio
+
+    from repro.obs.attribution import attribution_report
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.sampling import TailSampler
+    from repro.obs.slo import SloEngine
+    from repro.obs.tracing import Tracer
+
+    if args.metrics is not None:
+        # Snapshot mode: render a frame from a JSON dump — either a full
+        # `traffic --json` summary (whose "metrics" key we unwrap) or a
+        # bare ServiceMetrics dict.  No spans, so no attribution section.
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            print(f"error: {args.metrics}: not a JSON object", file=out)
+            return 2
+        snapshot = payload.get("metrics", payload)
+        if not isinstance(snapshot, dict) or "served" not in snapshot:
+            print(
+                f"error: {args.metrics}: neither a `traffic --json` summary "
+                "nor a ServiceMetrics dict (no 'served' field)",
+                file=out,
+            )
+            return 2
+        if args.json:
+            print(
+                json.dumps(
+                    {"metrics": snapshot, "attribution": None},
+                    indent=2,
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+        else:
+            print(render_dashboard(snapshot, title=f"repro top — {args.metrics}"), file=out)
+        return 0
+
+    from repro.service import OVERLOAD_POLICY, CatalogService
+    from repro.service.replay import request_from_event
+    from repro.workloads import SchemaSpec, overload_mix, random_schema, view_catalog
+
+    if not 0.0 <= args.head_rate <= 1.0:
+        print(
+            f"error: --head-rate must lie in [0, 1], got {args.head_rate}",
+            file=out,
+        )
+        return 2
+    if args.interval <= 0:
+        print(f"error: --interval must be > 0, got {args.interval}", file=out)
+        return 2
+
+    schema = random_schema(
+        SchemaSpec(relations=4, arity=2, universe_size=5), seed=args.seed
+    )
+    catalog = view_catalog(
+        schema, classes=3, copies_per_class=2, members=2, atoms_per_query=2,
+        seed=args.seed,
+    )
+    events = overload_mix(schema, catalog, requests=args.requests, seed=args.seed)
+    tracer = Tracer()
+    slo = SloEngine()
+    sampler = TailSampler(args.head_rate)
+
+    async def drive():
+        frames = 0
+        async with CatalogService(
+            catalog,
+            jobs=args.jobs,
+            queue_limit=len(events) + 8,
+            scheduler="edf",
+            policy=OVERLOAD_POLICY,
+            admission="conformal",
+            tracer=tracer,
+            slo=slo,
+            sampler=sampler,
+        ) as service:
+            loop = asyncio.get_running_loop()
+            pending = set()
+            for event in events:
+                pending.add(loop.create_task(service.submit(request_from_event(event))))
+                await asyncio.sleep(0)
+            while pending:
+                done, pending = await asyncio.wait(pending, timeout=args.interval)
+                if args.once:
+                    continue
+                print(render_dashboard(service.metrics().to_dict()), file=out)
+                print(file=out)
+                frames += 1
+                if args.frames is not None and frames >= args.frames:
+                    break
+            if pending:
+                await asyncio.gather(*pending)
+            return service.metrics()
+
+    metrics = asyncio.run(drive())
+    snapshot = metrics.to_dict()
+    attribution = attribution_report(tracer.spans()) if tracer.spans() else None
+    if args.json:
+        print(
+            json.dumps(
+                {"metrics": snapshot, "attribution": attribution},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    else:
+        print(
+            render_dashboard(snapshot, attribution=attribution, title="repro top — final"),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_bench_history(args, out) -> int:
+    from repro.perf.history import flag_regressions, load_history
+
+    if not 0.0 <= args.band < 1.0:
+        print(f"error: --band must lie in [0, 1), got {args.band}", file=out)
+        return 2
+    try:
+        entries = load_history(args.path)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    verdict = flag_regressions(entries, band=args.band)
+    if args.json:
+        print(json.dumps(verdict, indent=2, sort_keys=True), file=out)
+        return 1 if verdict["regressions"] else 0
+    if not entries:
+        print(f"bench history {args.path}: no entries", file=out)
+        return 0
+    plural = "y" if len(entries) == 1 else "ies"
+    print(f"bench history {args.path}: {len(entries)} entr{plural}", file=out)
+    for entry in entries[-5:]:
+        metrics = entry.get("metrics") or {}
+        print(
+            "  rev {rev}  schema v{schema}  cpus {cpus}{smoke}  "
+            "{count} metric(s)".format(
+                rev=entry.get("git_rev") or "?",
+                schema=entry.get("schema_version"),
+                cpus=entry.get("cpus"),
+                smoke=" smoke" if entry.get("smoke") else "",
+                count=len(metrics),
+            ),
+            file=out,
+        )
+    if not verdict["comparable"]:
+        print(
+            "  no prior comparable run (same schema_version/cpus/smoke) — "
+            "nothing to flag",
+            file=out,
+        )
+        return 0
+    base = verdict["baseline"]
+    print(
+        f"  vs baseline rev {base.get('git_rev') or '?'} "
+        f"(band {args.band:.0%}):",
+        file=out,
+    )
+    for change in verdict["improvements"]:
+        print(
+            "    improved  {metric}: {base:.4g} -> {latest:.4g} "
+            "({ratio}x)".format(
+                metric=change["metric"],
+                base=change["baseline"],
+                latest=change["latest"],
+                ratio=change["ratio"],
+            ),
+            file=out,
+        )
+    for change in verdict["regressions"]:
+        print(
+            "    REGRESSION {metric}: {base:.4g} -> {latest:.4g} "
+            "({ratio}x, {direction})".format(
+                metric=change["metric"],
+                base=change["baseline"],
+                latest=change["latest"],
+                ratio=change["ratio"],
+                direction="higher is better"
+                if change["higher_is_better"]
+                else "lower is better",
+            ),
+            file=out,
+        )
+    if verdict["regressions"]:
+        print(
+            f"  {len(verdict['regressions'])} regression(s) beyond the "
+            "noise band",
+            file=out,
+        )
+        return 1
+    print("  no regressions beyond the noise band", file=out)
     return 0
 
 
@@ -932,6 +1299,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_trace(args, out)
         if args.command == "metrics":
             return _cmd_metrics(args, out)
+        if args.command == "top":
+            return _cmd_top(args, out)
+        if args.command == "bench-history":
+            return _cmd_bench_history(args, out)
         if args.command == "recover":
             return _cmd_recover(args, out)
         if args.command == "lint":

@@ -1,12 +1,23 @@
 """Observability: request tracing, metrics registry, engine profiling,
-and the live conformal-coverage drift monitor.
+the live conformal-coverage drift monitor, and the PR 10 telemetry
+consumers — per-class SLOs with burn-rate alerting, span-tiling latency
+attribution, tail-based trace sampling and the ``repro top`` dashboard
+renderer.
 
 The package is standalone — nothing here imports the engine or the
 service layer at module scope, so the low-level hot paths
 (``repro.templates.homomorphism``, ``repro.engine.catalog``) can import
-the profiler without cycles.
+the profiler without cycles.  (The SLO engine's conformal-calibrated
+threshold borrows the admission calibrator's rank arithmetic via a lazy
+function-scope import, the same idiom as ``verify_trace``.)
 """
 
+from repro.obs.attribution import (
+    attribute_trace,
+    attribution_report,
+    littles_law_check,
+)
+from repro.obs.dashboard import render_dashboard
 from repro.obs.drift import (
     DEFAULT_DRIFT_MIN_SAMPLES,
     DEFAULT_DRIFT_SLACK,
@@ -21,6 +32,12 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     validate_exposition,
+)
+from repro.obs.sampling import DEFAULT_HEAD_RATE, TailSampler
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SloEngine,
+    SloSpec,
 )
 from repro.obs.tracing import (
     EDIT_CHAIN,
@@ -57,6 +74,15 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "validate_exposition",
+    "DEFAULT_HEAD_RATE",
+    "TailSampler",
+    "DEFAULT_SLOS",
+    "SloEngine",
+    "SloSpec",
+    "attribute_trace",
+    "attribution_report",
+    "littles_law_check",
+    "render_dashboard",
     "EDIT_CHAIN",
     "EDIT_CHAIN_JOURNALED",
     "NULL_TRACER",

@@ -1,0 +1,202 @@
+"""Text dashboard rendering for ``repro top``.
+
+Pure presentation: :func:`render_dashboard` turns a
+``ServiceMetrics.to_dict()`` snapshot (whose ``slo`` and ``sampler``
+blocks are filled when those consumers are attached) plus an optional
+attribution report (:func:`repro.obs.attribution.attribution_report`)
+into a fixed-width text frame.  No clocks, no service imports, no state —
+the CLI drives it either live (re-rendering every interval from a
+running session) or once from a metrics JSON dump.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["render_dashboard"]
+
+_WIDTH = 78
+
+
+def _ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _pct(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 100.0:.0f}%"
+
+
+def _burn(window: Mapping[str, object]) -> str:
+    burn = window.get("burn")
+    if burn is None:
+        return "-"
+    return f"{burn:.1f}x"
+
+
+def _rule(title: str) -> str:
+    pad = _WIDTH - len(title) - 4
+    return f"── {title} " + "─" * max(pad, 0)
+
+
+def _throughput_lines(snapshot: Mapping[str, object]) -> List[str]:
+    lines = [
+        "  served {served}  refused {refused}  shed {shed}  edits {edits}  "
+        "coalesced {coalesced}".format(
+            served=snapshot.get("served", 0),
+            refused=snapshot.get("refused", 0),
+            shed=snapshot.get("shed", 0),
+            edits=snapshot.get("edits", 0),
+            coalesced=snapshot.get("coalesced", 0),
+        ),
+        "  throughput {rps} req/s   uptime {uptime:.2f}s   queue {depth} "
+        "(max {max_depth})".format(
+            rps=snapshot.get("throughput_rps", 0.0),
+            uptime=float(snapshot.get("uptime_s", 0.0) or 0.0),
+            depth=snapshot.get("queue_depth", 0),
+            max_depth=snapshot.get("max_queue_depth", 0),
+        ),
+        "  latency p50 {p50} p95 {p95}   queue wait p50 {q50} p95 {q95}   "
+        "miss rate {miss}".format(
+            p50=_ms(snapshot.get("latency_p50_s")),
+            p95=_ms(snapshot.get("latency_p95_s")),
+            q50=_ms(snapshot.get("queue_wait_p50_s")),
+            q95=_ms(snapshot.get("queue_wait_p95_s")),
+            miss=_pct(snapshot.get("deadline_miss_rate", 0.0)),
+        ),
+    ]
+    return lines
+
+
+def _slo_lines(slo: Mapping[str, object]) -> List[str]:
+    lines = [
+        "  windows fast {fast:.0f}s / slow {slow:.0f}s   thresholds "
+        "{fb:.1f}x / {sb:.1f}x   alerts {alerts}".format(
+            fast=float(slo["fast_window_s"]),
+            slow=float(slo["slow_window_s"]),
+            fb=float(slo["fast_burn_threshold"]),
+            sb=float(slo["slow_burn_threshold"]),
+            alerts=slo["alerts"],
+        ),
+        "  {:<12} {:<10} {:<22} {:<18} {}".format(
+            "class", "objective", "target", "burn fast/slow", "state"
+        ),
+    ]
+    for entry in slo.get("slos", []):
+        name = str(entry["name"])
+        kinds = entry.get("kinds") or []
+        label = name if not kinds else f"{name}"
+        latency = entry["latency"]
+        target = latency.get("target_s")
+        target_text = (
+            f"p{latency['quantile'] * 100:.0f} <= {_ms(target)}"
+            if target is not None
+            else f"p{latency['quantile'] * 100:.0f} (calibrating)"
+        )
+        if latency.get("calibrated"):
+            target_text += " [conformal]"
+        lines.append(
+            "  {:<12} {:<10} {:<22} {:<18} {}".format(
+                label,
+                "latency",
+                target_text,
+                f"{_burn(latency['fast'])}/{_burn(latency['slow'])}",
+                "ALARM" if latency.get("alarming") else "ok",
+            )
+        )
+        avail = entry["availability"]
+        lines.append(
+            "  {:<12} {:<10} {:<22} {:<18} {}".format(
+                label,
+                "avail",
+                f">= {_pct(avail['target'])}",
+                f"{_burn(avail['fast'])}/{_burn(avail['slow'])}",
+                "ALARM" if avail.get("alarming") else "ok",
+            )
+        )
+    return lines
+
+
+def _attribution_lines(report: Mapping[str, object]) -> List[str]:
+    lines: List[str] = []
+    overall = report.get("overall") or {}
+    shares: Dict[str, float] = overall.get("mean_share") or {}
+    if shares:
+        ordered = sorted(shares.items(), key=lambda item: -item[1])
+        lines.append(
+            "  mean share: "
+            + "  ".join(f"{stage} {_pct(share)}" for stage, share in ordered)
+        )
+    top = report.get("top_slowest") or []
+    if top:
+        cells = ", ".join(
+            "{stage} {secs} (trace {tid})".format(
+                stage=cell["stage"],
+                secs=_ms(cell["seconds"]),
+                tid=cell["trace_id"],
+            )
+            for cell in top[:3]
+        )
+        lines.append(f"  slowest stages: {cells}")
+    by_kind = report.get("by_kind") or {}
+    for kind, block in sorted(by_kind.items()):
+        kind_shares = block.get("mean_share") or {}
+        if not kind_shares:
+            continue
+        ordered = sorted(kind_shares.items(), key=lambda item: -item[1])[:3]
+        lines.append(
+            "  {:<18} {}".format(
+                kind,
+                "  ".join(f"{stage} {_pct(share)}" for stage, share in ordered),
+            )
+        )
+    return lines
+
+
+def _sampler_lines(ledger: Mapping[str, object]) -> List[str]:
+    keep_rate = ledger.get("keep_rate")
+    return [
+        "  kept {kept} (interesting {ki}, head {kh})  dropped {dropped}  "
+        "of {total}   keep rate {rate}   head rate {head}".format(
+            kept=ledger.get("kept", 0),
+            ki=ledger.get("kept_interesting", 0),
+            kh=ledger.get("kept_head", 0),
+            dropped=ledger.get("dropped", 0),
+            total=ledger.get("decisions", 0),
+            rate=_pct(keep_rate) if keep_rate is not None else "-",
+            head=_pct(ledger.get("head_rate")),
+        )
+    ]
+
+
+def render_dashboard(
+    snapshot: Mapping[str, object],
+    attribution: Optional[Mapping[str, object]] = None,
+    title: str = "repro top",
+) -> str:
+    """One fixed-width text frame of the service's observable state.
+
+    ``snapshot`` is a ``ServiceMetrics.to_dict()`` mapping; its ``slo``
+    and ``sampler`` blocks render as their own sections when present, as
+    does an ``attribution`` report.  Returns the frame as one string
+    (no trailing newline) — the caller decides how to paint it.
+    """
+
+    lines: List[str] = [_rule(title)]
+    lines.extend(_throughput_lines(snapshot))
+    slo = snapshot.get("slo")
+    if slo:
+        lines.append(_rule("SLO burn rates"))
+        lines.extend(_slo_lines(slo))
+    if attribution:
+        lines.append(_rule("latency attribution"))
+        lines.extend(_attribution_lines(attribution))
+    sampler = snapshot.get("sampler")
+    if sampler:
+        lines.append(_rule("tail sampler"))
+        lines.extend(_sampler_lines(sampler))
+    lines.append("─" * _WIDTH)
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Tail-based trace sampling with an exact kept/dropped ledger.
+
+The PR 8 tracer keeps *every* span in a bounded ring buffer, so under
+sustained traffic the buffer is dominated by unremarkable fast requests
+and the interesting tail (deadline misses, sheds, refusals, SLO
+violations) is exactly what eviction throws away first.  Tail-based
+sampling inverts that: the keep/drop decision is made *per completed
+trace*, once its outcome is known —
+
+* **interesting** traces (miss / shed / refusal / SLO violation) are
+  kept with probability 1 — never a silent drop;
+* everything else is kept at a budgeted **head rate** via a
+  deterministic credit accumulator (``credit += head_rate``; a trace is
+  kept each time the credit crosses 1), so exactly
+  ``floor(n · head_rate)`` of any ``n`` boring traces survive — no RNG,
+  reproducible under seeded replays.
+
+Every decision is counted: ``kept_interesting + kept_head + dropped``
+always equals the number of decisions taken, and :meth:`TailSampler.ledger`
+exposes the exact accounting for metrics export and the dashboard.
+
+The sampler is consulted by ``CatalogService._emit_spans`` *after* the
+request finishes (spans are emitted at completion, so "drop" simply
+means the trace's spans are never recorded).  Like the tracer, the hook
+is guarded by the REPRO-HOT-GUARD contract: an unsampled run pays one
+attribute check per request, never a call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["TailSampler", "DEFAULT_HEAD_RATE"]
+
+#: Default fraction of uninteresting traces retained.
+DEFAULT_HEAD_RATE = 0.1
+
+
+class TailSampler:
+    """Keep interesting traces always, boring ones at ``head_rate``.
+
+    Mutated only from the service's dispatcher thread (the same
+    single-writer discipline as the service counters); :meth:`ledger`
+    reads plain ints and is safe to call from anywhere.
+    """
+
+    #: Class attribute so guard checks (``if sampler.enabled:``) are one
+    #: dict lookup, mirroring ``NullTracer.enabled``.
+    enabled = True
+
+    __slots__ = ("head_rate", "_credit", "kept_interesting", "kept_head", "dropped")
+
+    def __init__(self, head_rate: float = DEFAULT_HEAD_RATE) -> None:
+        if not 0.0 <= head_rate <= 1.0:
+            raise ValueError("head_rate must be in [0, 1]")
+        self.head_rate = head_rate
+        self._credit = 0.0
+        self.kept_interesting = 0
+        self.kept_head = 0
+        self.dropped = 0
+
+    def decide(self, interesting: bool) -> bool:
+        """Whether to keep one completed trace; updates the ledger."""
+
+        if interesting:
+            self.kept_interesting += 1
+            return True
+        self._credit += self.head_rate
+        if self._credit >= 1.0:
+            self._credit -= 1.0
+            self.kept_head += 1
+            return True
+        self.dropped += 1
+        return False
+
+    @property
+    def decisions(self) -> int:
+        """Total traces this sampler has ruled on."""
+
+        return self.kept_interesting + self.kept_head + self.dropped
+
+    @property
+    def kept(self) -> int:
+        """Total traces kept (interesting + head-sampled)."""
+
+        return self.kept_interesting + self.kept_head
+
+    def ledger(self) -> Dict[str, float]:
+        """Exact accounting, JSON-ready.
+
+        ``decisions == kept_interesting + kept_head + dropped`` by
+        construction — the invariant the tests pin.
+        """
+
+        decisions = self.decisions
+        return {
+            "policy": "tail",
+            "head_rate": self.head_rate,
+            "decisions": decisions,
+            "kept": self.kept,
+            "kept_interesting": self.kept_interesting,
+            "kept_head": self.kept_head,
+            "dropped": self.dropped,
+            "keep_rate": (self.kept / decisions) if decisions else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TailSampler(head_rate={self.head_rate}, kept={self.kept}, "
+            f"dropped={self.dropped})"
+        )

@@ -258,11 +258,32 @@ def _percentile(values: Sequence[float], fraction: float) -> float:
     return ordered[rank]
 
 
-def trace_breakdown(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
-    """Per-stage duration summary: count, p50, p95, total seconds."""
+def trace_breakdown(
+    spans: Iterable[Span], by_kind: bool = False
+) -> Dict[str, Dict[str, Any]]:
+    """Per-stage duration summary: count, p50, p95, total seconds.
 
+    With ``by_kind`` the summary is grouped per request class first: the
+    result maps each request kind (from the ``"kind"`` span attr the
+    service stamps on every trace; ``"unknown"`` for dumps predating it)
+    to its own per-stage summary.
+    """
+
+    span_list = list(spans)
+    if by_kind:
+        kinds: Dict[int, str] = {}
+        for span in span_list:
+            kind = span.attrs.get("kind")
+            if kind is not None and span.trace_id not in kinds:
+                kinds[span.trace_id] = str(kind)
+        grouped: Dict[str, List[Span]] = {}
+        for span in span_list:
+            grouped.setdefault(kinds.get(span.trace_id, "unknown"), []).append(span)
+        return {
+            kind: trace_breakdown(group) for kind, group in sorted(grouped.items())
+        }
     by_stage: Dict[str, List[float]] = {}
-    for span in spans:
+    for span in span_list:
         by_stage.setdefault(span.stage, []).append(span.duration_s)
     return {
         stage: {
@@ -320,6 +341,7 @@ def verify_trace(
     journal: bool = False,
     rel_tol: float = 0.05,
     abs_tol: float = 0.002,
+    sampled: bool = False,
 ) -> Dict[str, Any]:
     """Replay-level trace check: full stage chains that tile the latency.
 
@@ -333,8 +355,15 @@ def verify_trace(
     construction — the tolerance only absorbs float accumulation.
 
     Returns ``{"checked", "complete_chains", "coalesced_links",
-    "structural_problems", "mismatches"}``; an empty ``mismatches`` list
-    and zero structural problems mean the trace verifies.
+    "sampled_out", "structural_problems", "mismatches"}``; an empty
+    ``mismatches`` list and zero structural problems mean the trace
+    verifies.
+
+    With ``sampled`` (a tail sampler was attached, so the dump is
+    partial *by design*) a completed response with no spans at all is
+    counted as ``sampled_out`` instead of a chain mismatch — unless it
+    missed its deadline, which the sampling policy keeps with
+    probability 1, so a missing miss trace is still a mismatch.
     """
 
     from repro.service.requests import EDIT_KINDS
@@ -344,6 +373,7 @@ def verify_trace(
     mismatches: List[Dict[str, Any]] = []
     checked = 0
     complete = 0
+    sampled_out = 0
     coalesced_links = sum(1 for s in span_list if s.stage == STAGE_COALESCED)
     for response in responses:
         trace_id = getattr(response, "trace_id", None)
@@ -355,6 +385,18 @@ def verify_trace(
         checked += 1
         group = [s for s in groups.get(trace_id, []) if s.stage != STAGE_COALESCED]
         stages = [s.stage for s in group]
+        if sampled and not group:
+            if getattr(response, "deadline_missed", False):
+                mismatches.append(
+                    {
+                        "trace_id": trace_id,
+                        "kind": response.kind,
+                        "problem": "sampled-out interesting trace",
+                    }
+                )
+            else:
+                sampled_out += 1
+            continue
         if response.kind in EDIT_KINDS:
             expected = EDIT_CHAIN_JOURNALED if journal else EDIT_CHAIN
         else:
@@ -390,6 +432,7 @@ def verify_trace(
         "checked": checked,
         "complete_chains": complete,
         "coalesced_links": coalesced_links,
+        "sampled_out": sampled_out,
         "structural_problems": check_spans(span_list),
         "mismatches": mismatches,
     }

@@ -1,0 +1,239 @@
+"""Benchmark trajectory: append-only ``BENCH_history.jsonl`` + regression flags.
+
+``BENCH_perf.json`` is overwritten on every benchmark run, so by itself
+it records a point, not a trajectory.  This module gives the harness a
+durable one: :func:`append_history` folds each report into one JSONL
+line keyed by ``schema_version`` / ``cpus`` / git revision / smoke mode,
+and :func:`flag_regressions` compares the latest entry against the most
+recent *comparable* one (same schema version, CPU count and smoke mode —
+cross-machine or cross-schema comparisons are noise, not signal) and
+flags every tracked metric that moved the wrong way by more than the
+noise band.
+
+Tracked metrics carry their direction explicitly (``higher_is_better``):
+engine speedups, service lane throughputs, recovery speedup and the
+subscription work-saved ratio are better high; the tracing and sampling
+overhead ratios are better low.  The consumers are
+``benchmarks/run_benchmarks.py`` (appends after writing the report) and
+``repro bench-history`` (prints the trajectory, exits nonzero on a
+flagged regression).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "HISTORY_FILENAME",
+    "append_history",
+    "flag_regressions",
+    "git_revision",
+    "history_entry",
+    "load_history",
+    "tracked_metrics",
+]
+
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: Noise band: a tracked metric must move more than this fraction in the
+#: wrong direction before it is called a regression.
+DEFAULT_BAND = 0.2
+
+
+def git_revision(root: str = ".") -> Optional[str]:
+    """Short git revision of ``root``, or ``None`` outside a checkout."""
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def tracked_metrics(report: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+    """Direction-tagged metrics extracted from a bench report's summary."""
+
+    metrics: Dict[str, Dict[str, object]] = {}
+
+    def track(name: str, value: object, higher_is_better: bool) -> None:
+        if isinstance(value, (int, float)) and value > 0:
+            metrics[name] = {
+                "value": float(value),
+                "higher_is_better": higher_is_better,
+            }
+
+    summary = report.get("summary") or {}
+    for suite, entry in sorted(summary.items()):
+        if not isinstance(entry, Mapping):
+            continue
+        track(
+            f"{suite}.median_speedup_cold", entry.get("median_speedup_cold"), True
+        )
+        track(
+            f"{suite}.median_speedup_warm", entry.get("median_speedup_warm"), True
+        )
+        for lane, stats in sorted((entry.get("service") or {}).items()):
+            track(f"{suite}.{lane}.throughput_rps", stats.get("throughput_rps"), True)
+        tracing = entry.get("tracing") or {}
+        track(
+            f"{suite}.trace_overhead_ratio",
+            tracing.get("trace_overhead_ratio"),
+            False,
+        )
+        sampling = entry.get("sampling") or {}
+        track(
+            f"{suite}.sampler_overhead_ratio",
+            sampling.get("sampler_overhead_ratio"),
+            False,
+        )
+        recovery = entry.get("recovery") or {}
+        track(f"{suite}.recovery_speedup", recovery.get("recovery_speedup"), True)
+        subscription = entry.get("subscription") or {}
+        track(
+            f"{suite}.work_saved_ratio", subscription.get("work_saved_ratio"), True
+        )
+    return metrics
+
+
+def history_entry(
+    report: Mapping[str, object], git_rev: Optional[str] = None
+) -> Dict[str, object]:
+    """One JSONL line for ``report`` (timestamps come from the report)."""
+
+    config = report.get("config") or {}
+    return {
+        "schema_version": report.get("schema_version"),
+        "created_unix": report.get("created_unix"),
+        "python": report.get("python"),
+        "cpus": report.get("cpus"),
+        "smoke": bool(config.get("smoke", False)),
+        "git_rev": git_rev,
+        "metrics": tracked_metrics(report),
+    }
+
+
+def append_history(
+    report: Mapping[str, object],
+    path: str,
+    git_rev: Optional[str] = None,
+) -> Dict[str, object]:
+    """Append ``report``'s entry to the JSONL file at ``path``; returns it."""
+
+    entry = history_entry(report, git_rev=git_rev)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    return entry
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Entries of a history file, oldest first; raises ``OSError``/``ValueError``."""
+
+    entries: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_no}: not JSON: {error}") from error
+            if not isinstance(payload, dict):
+                raise ValueError(f"{path}:{line_no}: entry is not an object")
+            entries.append(payload)
+    return entries
+
+
+def _comparison_key(entry: Mapping[str, object]) -> tuple:
+    return (entry.get("schema_version"), entry.get("cpus"), entry.get("smoke"))
+
+
+def flag_regressions(
+    entries: List[Mapping[str, object]], band: float = DEFAULT_BAND
+) -> Dict[str, object]:
+    """Latest entry vs the previous comparable one, beyond the noise band.
+
+    A metric regresses when it moves more than ``band`` (relative) in its
+    wrong direction: a higher-is-better metric falling below
+    ``baseline * (1 - band)``, a lower-is-better one rising above
+    ``baseline * (1 + band)``.  Symmetric moves the right way are
+    reported as improvements (informational).  With fewer than two
+    comparable entries the verdict is ``comparable: False`` and nothing
+    is flagged.
+    """
+
+    if not 0.0 <= band < 1.0:
+        raise ValueError("band must be in [0, 1)")
+    result: Dict[str, object] = {
+        "entries": len(entries),
+        "band": band,
+        "comparable": False,
+        "baseline": None,
+        "latest": None,
+        "regressions": [],
+        "improvements": [],
+    }
+    if not entries:
+        return result
+    latest = entries[-1]
+    result["latest"] = {
+        "git_rev": latest.get("git_rev"),
+        "created_unix": latest.get("created_unix"),
+    }
+    baseline = None
+    for entry in reversed(entries[:-1]):
+        if _comparison_key(entry) == _comparison_key(latest):
+            baseline = entry
+            break
+    if baseline is None:
+        return result
+    result["comparable"] = True
+    result["baseline"] = {
+        "git_rev": baseline.get("git_rev"),
+        "created_unix": baseline.get("created_unix"),
+    }
+    base_metrics = baseline.get("metrics") or {}
+    regressions: List[Dict[str, object]] = []
+    improvements: List[Dict[str, object]] = []
+    for name, latest_cell in sorted((latest.get("metrics") or {}).items()):
+        base_cell = base_metrics.get(name)
+        if not base_cell:
+            continue
+        base_value = float(base_cell["value"])
+        latest_value = float(latest_cell["value"])
+        higher = bool(latest_cell.get("higher_is_better", True))
+        if base_value <= 0:
+            continue
+        change = {
+            "metric": name,
+            "baseline": base_value,
+            "latest": latest_value,
+            "ratio": round(latest_value / base_value, 4),
+            "higher_is_better": higher,
+        }
+        if higher:
+            if latest_value < base_value * (1.0 - band):
+                regressions.append(change)
+            elif latest_value > base_value * (1.0 + band):
+                improvements.append(change)
+        else:
+            if latest_value > base_value * (1.0 + band):
+                regressions.append(change)
+            elif latest_value < base_value * (1.0 - band):
+                improvements.append(change)
+    result["regressions"] = regressions
+    result["improvements"] = improvements
+    return result

@@ -156,6 +156,14 @@ class ServiceMetrics:
     #: against a dead service's file, not a live service.
     journal: Optional[Dict[str, object]] = None
     cache: Dict[str, CacheStats] = field(default_factory=dict)
+    #: :meth:`repro.obs.slo.SloEngine.report` of the attached SLO engine —
+    #: per-class latency/availability objectives, windowed burn rates and
+    #: alarm states; ``None`` when no engine is attached.
+    slo: Optional[Dict[str, object]] = None
+    #: :meth:`repro.obs.sampling.TailSampler.ledger` of the attached tail
+    #: sampler — exact kept/dropped accounting; ``None`` when tracing is
+    #: unsampled (every trace kept, the pre-PR 10 behaviour).
+    sampler: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------- guarded ratios
     @property
@@ -243,6 +251,8 @@ class ServiceMetrics:
                 "drift": dict(self.admission_drift),
             },
             "journal": dict(self.journal) if self.journal is not None else None,
+            "slo": dict(self.slo) if self.slo is not None else None,
+            "sampler": dict(self.sampler) if self.sampler is not None else None,
             "cache": {
                 name: {
                     "hits": stats.hits,

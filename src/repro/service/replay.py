@@ -119,6 +119,8 @@ def run_traffic(
     admission: str = "off",
     coverage: float = 0.9,
     tracer: Optional[Tracer] = None,
+    slo=None,
+    sampler=None,
 ) -> Dict[str, object]:
     """The one verified traffic lane the CLI and benchmark harness share.
 
@@ -154,6 +156,13 @@ def run_traffic(
     verdict (full stage chains whose durations tile each completed
     response's latency).  ``None`` (default) leaves tracing disabled —
     the zero-overhead path the benchmark gate measures.
+
+    ``slo`` attaches a :class:`repro.obs.SloEngine` (its burn-rate report
+    lands in ``metrics.slo``); ``sampler`` a
+    :class:`repro.obs.TailSampler` (requires ``tracer``) — the trace
+    verdict is then computed in sampled mode (a boring trace the sampler
+    dropped is ``sampled_out``, not a mismatch; an interesting one must
+    still be present) and the ``"trace"`` block carries the ledger.
     """
 
     specs = list(subscriber_specs) if subscriber_specs else []
@@ -172,6 +181,8 @@ def run_traffic(
             admission=admission,
             coverage=coverage,
             tracer=tracer,
+            slo=slo,
+            sampler=sampler,
         ) as service:
             subscriptions = [
                 service.subscribe(spec.topics, buffer=spec.buffer) for spec in specs
@@ -210,7 +221,13 @@ def run_traffic(
         spans = tracer.spans()
         trace = {
             "spans": spans,
-            "verdict": verify_trace(responses, spans, journal=journal is not None),
+            "verdict": verify_trace(
+                responses,
+                spans,
+                journal=journal is not None,
+                sampled=sampler is not None,
+            ),
+            "sampler": sampler.ledger() if sampler is not None else None,
         }
     subscriptions = None
     if specs:

@@ -74,6 +74,8 @@ from repro.engine.delta import TOPIC_VIEWS, CatalogDelta, CatalogSnapshot
 from repro.exceptions import ReproError
 from repro.obs.profile import ENGINE_PROFILE
 from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.sampling import TailSampler
+from repro.obs.slo import SloEngine
 from repro.obs.tracing import (
     NULL_TRACER,
     STAGE_ADMISSION,
@@ -264,6 +266,8 @@ class CatalogService:
         admission: str = "off",
         coverage: float = 0.9,
         tracer: Optional[Tracer] = None,
+        slo: Optional[SloEngine] = None,
+        sampler: Optional[TailSampler] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
@@ -338,6 +342,14 @@ class CatalogService:
         # counters when metrics_registry() is exported.
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._inflight_traces: Dict[Hashable, int] = {}
+        # PR 10 telemetry consumers: the SLO burn-rate engine folds in
+        # every finished request (dispatcher thread only, like the
+        # counters above); the tail sampler rules on each completed trace
+        # at span-emission time, so it is meaningless without a tracer.
+        if sampler is not None and not self._tracer.enabled:
+            raise ServiceError("tail sampling needs a tracer (pass tracer=...)")
+        self._slo = slo
+        self._sampler = sampler
         self._registry = MetricsRegistry()
         self._h_latency = self._registry.histogram(
             "repro_request_latency_seconds",
@@ -570,7 +582,10 @@ class CatalogService:
                     STAGE_COALESCED,
                     now,
                     now,
-                    {"leader": self._inflight_traces.get(key, 0)},
+                    {
+                        "leader": self._inflight_traces.get(key, 0),
+                        "kind": request.kind,
+                    },
                 )
             return await asyncio.shield(self._inflight[key])
         # The conformal admission gate sits ahead of the queue (and so
@@ -592,12 +607,25 @@ class CatalogService:
             )
             if not decision.admit:
                 if self._tracer.enabled:
+                    # Refusals are always interesting: the sampler keeps
+                    # them with probability 1 and the ledger counts them.
+                    if self._sampler is not None:
+                        self._sampler.decide(True)
                     self._tracer.record(
                         trace_id,
                         STAGE_ADMISSION,
                         now,
                         self._clock(),
-                        {"verdict": "refuse_unmeetable", "mode": self._admission_mode},
+                        {
+                            "verdict": "refuse_unmeetable",
+                            "mode": self._admission_mode,
+                            "kind": request.kind,
+                        },
+                    )
+                if self._slo is not None:
+                    end = self._clock()
+                    self._slo.observe(
+                        end, request.kind, max(0.0, end - now), "refused"
                     )
                 return self._refuse_unmeetable(request, decision, trace_id)
             interval = decision.interval
@@ -637,13 +665,18 @@ class CatalogService:
         except asyncio.QueueFull:
             self._refused += 1
             if marks is not None:
+                if self._sampler is not None:
+                    self._sampler.decide(True)
                 self._tracer.record(
                     marks.tid,
                     STAGE_ADMISSION,
                     now,
                     self._clock(),
-                    {"verdict": "refuse_queue_full"},
+                    {"verdict": "refuse_queue_full", "kind": request.kind},
                 )
+            if self._slo is not None:
+                end = self._clock()
+                self._slo.observe(end, request.kind, max(0.0, end - now), "refused")
             return ServiceResponse(
                 kind=request.kind,
                 status="refused",
@@ -834,6 +867,8 @@ class CatalogService:
             admission_drift=self._admission.drift_stats(),
             journal=self._journal.stats() if self._journal is not None else None,
             cache=cache_stats(),
+            slo=self._slo.report(self._clock()) if self._slo is not None else None,
+            sampler=self._sampler.ledger() if self._sampler is not None else None,
         )
         if reset_windows:
             self._latencies.clear()
@@ -1001,6 +1036,60 @@ class CatalogService:
         # Tracer.
         reg.gauge("repro_trace_spans", "Spans currently buffered by the tracer").set(len(self._tracer))
         reg.counter("repro_trace_spans_dropped_total", "Spans evicted from the ring buffer").set_total(self._tracer.dropped)
+        if self._sampler is not None:
+            ledger = self._sampler.ledger()
+            kept = reg.counter(
+                "repro_trace_sampler_kept_total",
+                "Completed traces kept by the tail sampler, by reason",
+                labelnames=("reason",),
+            )
+            kept.set_total(int(ledger["kept_interesting"]), reason="interesting")
+            kept.set_total(int(ledger["kept_head"]), reason="head")
+            reg.counter(
+                "repro_trace_sampler_dropped_total",
+                "Completed traces dropped by the tail sampler",
+            ).set_total(int(ledger["dropped"]))
+            reg.gauge(
+                "repro_trace_sampler_head_rate",
+                "Configured head-sampling rate for uninteresting traces",
+            ).set(float(ledger["head_rate"]))
+        if self._slo is not None:
+            report = self._slo.report(self._clock())
+            burn = reg.gauge(
+                "repro_slo_burn_rate",
+                "Windowed error-budget burn rate per SLO objective",
+                labelnames=("slo", "objective", "window"),
+            )
+            alarming = reg.gauge(
+                "repro_slo_alarming",
+                "Whether the objective is currently alarming (1) or quiet (0)",
+                labelnames=("slo", "objective"),
+            )
+            alerts = reg.counter(
+                "repro_slo_alerts_total",
+                "Transitions into the alarming state per SLO objective",
+                labelnames=("slo", "objective"),
+            )
+            for entry in report["slos"]:
+                name = str(entry["name"])
+                for objective in ("latency", "availability"):
+                    block = entry[objective]
+                    for window in ("fast", "slow"):
+                        value = block[window]["burn"]
+                        burn.set(
+                            0.0 if value is None else float(value),
+                            slo=name,
+                            objective=objective,
+                            window=window,
+                        )
+                    alarming.set(
+                        1.0 if block["alarming"] else 0.0,
+                        slo=name,
+                        objective=objective,
+                    )
+                    alerts.set_total(
+                        int(block["alarms"]), slo=name, objective=objective
+                    )
         return reg
 
     # ------------------------------------------------------------ dispatcher
@@ -1190,8 +1279,25 @@ class CatalogService:
             )
             if confidence is not None:
                 self._confidence_attached += 1
+        slo_violated = False
+        if self._slo is not None:
+            # One SLO fold per finished request, stamped with the same
+            # clock reading the latency was measured against.  The
+            # classification mirrors the availability definition:
+            # availability = 1 − (miss + shed + refusal) rate.
+            if shed:
+                error = "shed"
+            elif status == "refused":
+                error = "refused"
+            elif missed:
+                error = "miss"
+            else:
+                error = ""
+            slo_violated = self._slo.observe(
+                now, item.request.kind, latency, error
+            )
         if item.trace is not None:
-            self._emit_spans(item, now, status, tier, shed)
+            self._emit_spans(item, now, status, tier, shed, missed, slo_violated)
         interval = item.interval
         self._resolve(
             item,
@@ -1218,7 +1324,14 @@ class CatalogService:
         )
 
     def _emit_spans(
-        self, item: _WorkItem, now: float, status: str, tier: str, shed: bool
+        self,
+        item: _WorkItem,
+        now: float,
+        status: str,
+        tier: str,
+        shed: bool,
+        missed: bool,
+        slo_violated: bool,
     ) -> None:
         """Record the request's stage spans from its boundary marks.
 
@@ -1228,14 +1341,29 @@ class CatalogService:
         request never reached that boundary (shed in the queue, refused
         at serve entry, edit failed before the diff): the last stage it
         did reach is extended to ``now`` and the chain stops there.
+
+        When a tail sampler is attached the keep/drop decision happens
+        here — spans are emitted at completion, when the outcome is
+        known, so dropping a boring trace is simply not recording it.
+        Misses, sheds, refusals and SLO violations are always kept.
         """
 
         if not self._tracer.enabled:
             return
+        if self._sampler is not None and not self._sampler.decide(
+            shed or missed or slo_violated or status == "refused"
+        ):
+            return
         marks = item.trace
         record = self._tracer.record
         tid = marks.tid
-        record(tid, STAGE_ADMISSION, item.enqueued, marks.admitted, {"verdict": "admit"})
+        record(
+            tid,
+            STAGE_ADMISSION,
+            item.enqueued,
+            marks.admitted,
+            {"verdict": "admit", "kind": item.request.kind},
+        )
         if marks.dispatched is None:
             record(
                 tid,

@@ -563,7 +563,7 @@ class TestMetricsSchema:
             "latency_p95_s", "queue_wait_p50_s", "queue_wait_p95_s",
             "queue_depth", "max_queue_depth", "throughput_rps", "uptime_s",
             "scheduler", "reuse", "cache", "warming", "subscriptions",
-            "journal", "admission",
+            "journal", "admission", "slo", "sampler",
         }
         assert set(snapshot["admission"]) == {
             "mode", "coverage", "refused_unmeetable", "confidence_attached",
